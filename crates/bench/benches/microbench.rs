@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks of the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use chronus_core::{decrement, Att, MechanismKind, MisraGries};
+use chronus_ctrl::AddressMapping;
+use chronus_dram::{BankId, Command, DramConfig, DramDevice, Geometry};
+use chronus_security::wave::{prac_wave_max_acts, PracBackOff, WaveTiming};
+use chronus_sim::{SimConfig, System};
+use chronus_workloads::synthetic_app;
+
+fn bench_dram_row_cycle(c: &mut Criterion) {
+    c.bench_function("dram/act_rd_pre_cycle", |b| {
+        let mut cfg = DramConfig::ddr5_baseline();
+        cfg.strict = false;
+        b.iter_batched(
+            || DramDevice::new(cfg.clone()),
+            |mut dev| {
+                let t = *dev.timings();
+                let bank = BankId::new(0, 0, 0);
+                let mut now = 0u64;
+                for row in 0..64u32 {
+                    dev.issue(&Command::Act { bank, row }, now);
+                    dev.issue(&Command::Rd { bank, col: 0 }, now + t.rcd);
+                    dev.issue(&Command::Pre { bank }, now + t.ras);
+                    now += t.rc;
+                }
+                dev
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mapping_decode(c: &mut Criterion) {
+    let geo = Geometry::ddr5();
+    c.bench_function("ctrl/mop_decode", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(0x1_0040);
+            std::hint::black_box(AddressMapping::Mop.decode(addr, &geo))
+        })
+    });
+}
+
+fn bench_att_observe(c: &mut Criterion) {
+    c.bench_function("core/att_observe", |b| {
+        let mut att = Att::new(4);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            att.observe(i % 64, i);
+        })
+    });
+}
+
+fn bench_misra_gries(c: &mut Criterion) {
+    c.bench_function("core/misra_gries_observe_1k_entries", |b| {
+        let mut mg = MisraGries::new(1024);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7);
+            mg.observe(i % 4096)
+        })
+    });
+}
+
+fn bench_decrementer(c: &mut Criterion) {
+    c.bench_function("core/gate_level_decrement", |b| {
+        let mut x = 0u8;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            decrement(x)
+        })
+    });
+}
+
+fn bench_wave_model(c: &mut Criterion) {
+    let t = WaveTiming::prac_default();
+    c.bench_function("security/prac_wave_recurrence_16k_rows", |b| {
+        b.iter(|| prac_wave_max_acts(PracBackOff::prac_n(4, 1), 16_384, &t))
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let app = synthetic_app("429.mcf", 0).unwrap();
+    c.bench_function("workloads/generate_100k_instr", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            app.generate(100_000, seed)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/end_to_end_5k_instr");
+    group.sample_size(10);
+    for mech in [MechanismKind::None, MechanismKind::Chronus, MechanismKind::Prac4] {
+        group.bench_function(mech.label(), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::single_core();
+                cfg.instructions_per_core = 5_000;
+                cfg.mechanism = mech;
+                cfg.nrh = 128;
+                let t = synthetic_app("470.lbm", 0).unwrap().generate(6_000, 1);
+                System::build(&cfg).run(vec![t])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dram_row_cycle,
+    bench_mapping_decode,
+    bench_att_observe,
+    bench_misra_gries,
+    bench_decrementer,
+    bench_wave_model,
+    bench_trace_generation,
+    bench_end_to_end,
+);
+criterion_main!(benches);

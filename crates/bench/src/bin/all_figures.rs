@@ -1,0 +1,35 @@
+//! Runs every analytical artefact and prints a manifest of the
+//! simulation-driven binaries (which are invoked individually so their
+//! flags can be tuned per experiment).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let bins_analytical = ["table1", "table2", "table3", "fig3", "fig11", "fig13"];
+    let bins_sim = [
+        "fig4", "fig7", "fig8", "fig9", "fig10", "fig12", "table4", "perf_attack", "fig14_15",
+    ];
+    for bin in bins_analytical {
+        println!("\n================ {bin} ================");
+        run(bin, &[]);
+    }
+    for bin in bins_sim {
+        println!("\n================ {bin} ================");
+        if quick {
+            run(bin, &["--instructions", "8000", "--mixes", "1", "--nrh", "1024,32"]);
+        } else {
+            run(bin, &[]);
+        }
+    }
+}
+
+fn run(bin: &str, args: &[&str]) {
+    let exe = std::env::current_exe().expect("self path");
+    let dir = exe.parent().expect("bin dir");
+    let status = Command::new(dir.join(bin))
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(status.success(), "{bin} failed");
+}

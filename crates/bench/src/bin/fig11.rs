@@ -1,0 +1,56 @@
+//! Fig. 11: storage overhead vs RowHammer threshold for Chronus, PRAC,
+//! Graphene, Hydra and PRFM (module with 64 banks × 128K rows).
+
+use chronus_bench::{format_table, write_json, HarnessOpts};
+use chronus_core::storage::{
+    chronus_storage, fig11_geometry, graphene_storage, hydra_storage, prac_storage, prfm_storage,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    nrh: u32,
+    chronus_mib: f64,
+    prac_mib: f64,
+    graphene_mib: f64,
+    hydra_mib: f64,
+    prfm_bytes: u64,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args("fig11");
+    let geo = fig11_geometry();
+    let acts_per_epoch = 680_000; // 32 ms / 47 ns
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for &nrh in &opts.nrh_list {
+        let r = Row {
+            nrh,
+            chronus_mib: chronus_storage(&geo, nrh).total_mib(),
+            prac_mib: prac_storage(&geo, nrh).total_mib(),
+            graphene_mib: graphene_storage(&geo, nrh, acts_per_epoch).total_mib(),
+            hydra_mib: hydra_storage(&geo, nrh).total_mib(),
+            prfm_bytes: prfm_storage(&geo, nrh).cpu_bytes(),
+        };
+        rows.push(vec![
+            nrh.to_string(),
+            format!("{:.2}", r.chronus_mib),
+            format!("{:.2}", r.prac_mib),
+            format!("{:.2}", r.graphene_mib),
+            format!("{:.2}", r.hydra_mib),
+            format!("{} B", r.prfm_bytes),
+        ]);
+        out.push(r);
+    }
+    println!("Fig. 11: storage overhead (MiB) vs N_RH — 64 banks x 128K rows");
+    println!(
+        "{}",
+        format_table(
+            &["N_RH", "Chronus(DRAM)", "PRAC(DRAM)", "Graphene(CAM)", "Hydra(DRAM+SRAM)", "PRFM(SRAM)"],
+            &rows
+        )
+    );
+    if let Some(path) = opts.out {
+        write_json(&path, &out);
+    }
+}

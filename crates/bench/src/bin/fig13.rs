@@ -1,0 +1,42 @@
+//! Fig. 13: storage — Chronus (DRAM) vs ABACuS (CAM + SRAM in CPU).
+
+use chronus_bench::{format_table, write_json, HarnessOpts};
+use chronus_core::storage::{abacus_storage, chronus_storage, fig11_geometry};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    nrh: u32,
+    chronus_mib: f64,
+    abacus_cpu_bytes: u64,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args("fig13");
+    let geo = fig11_geometry();
+    let acts = 680_000;
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for &nrh in &opts.nrh_list {
+        let r = Row {
+            nrh,
+            chronus_mib: chronus_storage(&geo, nrh).total_mib(),
+            abacus_cpu_bytes: abacus_storage(&geo, nrh, acts).cpu_bytes(),
+        };
+        rows.push(vec![
+            nrh.to_string(),
+            format!("{:.2} MiB", r.chronus_mib),
+            format!("{} KiB", r.abacus_cpu_bytes / 1024),
+        ]);
+        out.push(r);
+    }
+    println!("Fig. 13: Chronus (in-DRAM) vs ABACuS (CPU CAM+SRAM) storage");
+    println!(
+        "{}",
+        format_table(&["N_RH", "Chronus", "ABACuS"], &rows)
+    );
+    println!("(ABACuS is small but lives in expensive CPU storage; Chronus rides DRAM density.)");
+    if let Some(path) = opts.out {
+        write_json(&path, &out);
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 3: maximum activations a single row can reach under (a) PRFM and
+//! (b) PRAC-N, from the analytical wave-attack models.
+
+use chronus_bench::{format_table, write_json, HarnessOpts};
+use chronus_security::sweep::{fig3a, fig3b};
+use chronus_security::wave::WaveTiming;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    fig3a: Vec<chronus_security::sweep::Fig3aPoint>,
+    fig3b: Vec<chronus_security::sweep::Fig3bPoint>,
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args("fig3");
+    let a = fig3a(&WaveTiming::baseline_default());
+    let b = fig3b(&WaveTiming::prac_default());
+
+    println!("Fig. 3a: max ACTs to a single row under PRFM (rows = RFMth, columns = |R1|)");
+    let r1s: Vec<u64> = vec![2048, 4096, 8192, 16_384, 32_768, 65_536];
+    let mut rows = Vec::new();
+    for th in [2u32, 3, 4, 8, 16, 32, 64, 80, 128, 256] {
+        let mut row = vec![th.to_string()];
+        for &r1 in &r1s {
+            let v = a
+                .iter()
+                .find(|p| p.rfm_th == th && p.r1 == r1)
+                .map(|p| p.max_acts)
+                .unwrap_or(0);
+            row.push(v.to_string());
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["RFMth".to_string()];
+    headers.extend(r1s.iter().map(|r| format!("|R1|={}K", r / 1024)));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!("{}", format_table(&headers_ref, &rows));
+
+    println!("Fig. 3b: worst-case max ACTs under PRAC-N (over the |R1| sweep)");
+    let mut rows = Vec::new();
+    for nbo in [1u32, 2, 3, 4, 5, 6, 7, 8, 16, 32, 64, 128, 256] {
+        let mut row = vec![nbo.to_string()];
+        for n in [1u32, 2, 4] {
+            let v = b
+                .iter()
+                .find(|p| p.nbo == nbo && p.n == n)
+                .map(|p| p.max_acts)
+                .unwrap_or(0);
+            row.push(v.to_string());
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        format_table(&["N_BO", "PRAC-1", "PRAC-2", "PRAC-4"], &rows)
+    );
+    let prac4_floor = b
+        .iter()
+        .filter(|p| p.n == 4 && p.nbo == 1)
+        .map(|p| p.max_acts)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "PRAC-4 @ N_BO=1 worst case: {prac4_floor} ACTs (paper: 19 → N_RH = 20 is the lowest secure threshold)"
+    );
+    if let Some(path) = opts.out {
+        write_json(&path, &Out { fig3a: a, fig3b: b });
+    }
+}

@@ -1,0 +1,32 @@
+//! Fig. 4: performance impact of the PRAC and RFM configurations on
+//! four-core workloads (normalised weighted speedup vs N_RH).
+
+use chronus_bench::runs::pivot_geomean;
+use chronus_bench::{format_table, sweep_mixes, write_json, HarnessOpts};
+use chronus_core::MechanismKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args("fig4");
+    let mechs = [
+        MechanismKind::Prac4,
+        MechanismKind::Prac2,
+        MechanismKind::Prac1,
+        MechanismKind::PracPrfm,
+        MechanismKind::Prfm,
+    ];
+    let rows = sweep_mixes(&mechs, &opts.nrh_list, &opts);
+    let mut headers = vec!["mechanism".to_string()];
+    headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!(
+        "Fig. 4: normalized weighted speedup, {} four-core mixes ('!' = not wave-attack secure)",
+        opts.mixes_per_class * 6
+    );
+    println!(
+        "{}",
+        format_table(&headers_ref, &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm))
+    );
+    if let Some(path) = opts.out {
+        write_json(&path, &rows);
+    }
+}

@@ -1,0 +1,25 @@
+//! Fig. 8: normalised weighted speedup of all seven headline mechanisms
+//! across N_RH on the four-core mixes.
+
+use chronus_bench::runs::pivot_geomean;
+use chronus_bench::{format_table, sweep_mixes, write_json, HarnessOpts};
+use chronus_core::MechanismKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args("fig8");
+    let rows = sweep_mixes(MechanismKind::headline(), &opts.nrh_list, &opts);
+    let mut headers = vec!["mechanism".to_string()];
+    headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    println!(
+        "Fig. 8: normalized weighted speedup, {} four-core mixes ('!' = not secure)",
+        opts.mixes_per_class * 6
+    );
+    println!(
+        "{}",
+        format_table(&headers_ref, &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm))
+    );
+    if let Some(path) = opts.out {
+        write_json(&path, &rows);
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 1: DRAM timing parameter changes with PRAC.
+
+use chronus_bench::format_table;
+use chronus_dram::TimingsNs;
+
+fn main() {
+    let base = TimingsNs::ddr5_3200an_baseline();
+    let prac = TimingsNs::ddr5_3200an_prac();
+    let buggy = TimingsNs::ddr5_3200an_prac_buggy();
+    let rows = [("tRAS", base.tras, prac.tras, buggy.tras),
+        ("tRP", base.trp, prac.trp, buggy.trp),
+        ("tRC", base.trc, prac.trc, buggy.trc),
+        ("tRTP", base.trtp, prac.trtp, buggy.trtp),
+        ("tWR", base.twr, prac.twr, buggy.twr)];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, b, p, g)| {
+            vec![
+                name.to_string(),
+                format!("{b} ns"),
+                format!("{p} ns"),
+                format!("{g} ns"),
+            ]
+        })
+        .collect();
+    println!("Table 1: DRAM timing parameter changes with PRAC (DDR5-3200AN)");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "parameter",
+                "DDR5 w/o PRAC",
+                "DDR5 w/ PRAC",
+                "pre-erratum PRAC (Table 4)"
+            ],
+            &table
+        )
+    );
+    println!(
+        "resolved to cycles (tCK = {} ns): baseline tRC = {} cy, PRAC tRC = {} cy",
+        base.tck,
+        base.resolve().rc,
+        prac.resolve().rc
+    );
+}

@@ -1,0 +1,42 @@
+//! Table 2: the simulated system configuration.
+
+use chronus_bench::format_table;
+use chronus_sim::SimConfig;
+
+fn main() {
+    let c = SimConfig::four_core();
+    let rows = vec![
+        vec![
+            "Processor".to_string(),
+            format!(
+                "4.2 GHz, {}-core, {}-wide issue, {}-entry instr. window",
+                c.num_cores, c.core.width, c.core.window
+            ),
+        ],
+        vec![
+            "Last-Level Cache".to_string(),
+            format!(
+                "{} B line, {}-way, {} MiB shared",
+                c.llc.line_bytes,
+                c.llc.ways,
+                c.llc.capacity >> 20
+            ),
+        ],
+        vec![
+            "Memory Controller".to_string(),
+            "64-entry RD/WR queues; FR-FCFS + Cap of 4; MOP mapping".to_string(),
+        ],
+        vec![
+            "Main Memory".to_string(),
+            format!(
+                "DDR5, 1 channel, {} ranks, {} bank groups x {} banks, {}K rows/bank",
+                c.geometry.ranks,
+                c.geometry.bankgroups,
+                c.geometry.banks_per_group,
+                c.geometry.rows / 1024
+            ),
+        ],
+    ];
+    println!("Table 2: simulated system configuration");
+    println!("{}", format_table(&["component", "configuration"], &rows));
+}

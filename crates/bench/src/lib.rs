@@ -1,0 +1,25 @@
+//! Benchmark-harness library: shared orchestration for the per-figure
+//! binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --instructions N   instructions per core         (default 60 000)
+//! --mixes N          four-core mixes per class     (default 2 → 12 mixes)
+//! --threads N        worker threads                (default: all cores)
+//! --seed N           RNG seed                      (default 42)
+//! --nrh a,b,c        RowHammer threshold sweep     (default 1024…20)
+//! --out FILE         also write results as JSON
+//! ```
+//!
+//! Paper scale is `--instructions 100000000 --mixes 10`.
+
+pub mod opts;
+pub mod runs;
+pub mod tables;
+
+pub use opts::HarnessOpts;
+pub use runs::{
+    mix_traces, run_mix, sweep_mixes, sweep_single_core, MixContext, SweepRow,
+};
+pub use tables::{format_table, geomean, write_json};

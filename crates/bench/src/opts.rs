@@ -1,0 +1,100 @@
+//! Command-line options shared by all figure binaries.
+
+use std::path::PathBuf;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Instructions per core.
+    pub instructions: u64,
+    /// Four-core mixes per intensity class.
+    pub mixes_per_class: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// RowHammer threshold sweep.
+    pub nrh_list: Vec<u32>,
+    /// Optional JSON output path.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self {
+            instructions: 60_000,
+            mixes_per_class: 2,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8),
+            seed: 42,
+            nrh_list: vec![1024, 512, 256, 128, 64, 32, 20],
+            out: None,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`, printing usage and exiting on `--help`.
+    pub fn from_args(tool: &str) -> Self {
+        let mut o = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match a.as_str() {
+                "--instructions" => o.instructions = value("--instructions").parse().expect("int"),
+                "--mixes" => o.mixes_per_class = value("--mixes").parse().expect("int"),
+                "--threads" => o.threads = value("--threads").parse().expect("int"),
+                "--seed" => o.seed = value("--seed").parse().expect("int"),
+                "--nrh" => {
+                    o.nrh_list = value("--nrh")
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("int list"))
+                        .collect();
+                }
+                "--out" => o.out = Some(PathBuf::from(value("--out"))),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "{tool}: regenerates one artefact of the Chronus paper.\n\
+                         flags: --instructions N --mixes N --threads N --seed N \
+                         --nrh a,b,c --out FILE"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        o
+    }
+
+    /// A scaled-down copy for smoke tests.
+    pub fn smoke() -> Self {
+        Self {
+            instructions: 5_000,
+            mixes_per_class: 1,
+            nrh_list: vec![1024, 32],
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_paper_sweep() {
+        let o = HarnessOpts::default();
+        assert_eq!(o.nrh_list, vec![1024, 512, 256, 128, 64, 32, 20]);
+        assert!(o.threads >= 1);
+    }
+
+    #[test]
+    fn smoke_is_smaller() {
+        let s = HarnessOpts::smoke();
+        assert!(s.instructions < HarnessOpts::default().instructions);
+    }
+}

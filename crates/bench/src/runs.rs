@@ -1,0 +1,244 @@
+//! Experiment orchestration: alone/baseline/mechanism runs over mixes.
+
+use chronus_core::MechanismKind;
+use chronus_cpu::Trace;
+use chronus_sim::{run_parallel, SimConfig, SimReport, System};
+use chronus_sim::system::alone_ipc;
+use chronus_workloads::{four_core_mixes, generator::synthetic_from_profile, AppProfile, Mix};
+use serde::Serialize;
+
+use crate::opts::HarnessOpts;
+
+/// One evaluated (workload, mechanism, N_RH) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    /// Workload (mix or application) name.
+    pub workload: String,
+    /// Intensity label (mix class or app class letter).
+    pub class: String,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// Weighted speedup normalised to the unmitigated baseline (single
+    /// core: plain speedup).
+    pub ws_norm: f64,
+    /// DRAM energy normalised to the baseline.
+    pub energy_norm: f64,
+    /// Whether the configuration is wave-attack secure.
+    pub secure: bool,
+    /// Back-offs honoured by the controller.
+    pub back_offs: u64,
+    /// Preventive victim-row refreshes (VRRs + RFM victims + borrowed).
+    pub preventive_rows: u64,
+}
+
+/// Generates the per-core traces of a mix.
+pub fn mix_traces(apps: &[AppProfile], instructions: u64, seed: u64) -> Vec<Trace> {
+    apps.iter()
+        .enumerate()
+        .map(|(i, p)| {
+            synthetic_from_profile(*p, i as u64)
+                .generate(instructions + instructions / 10, seed ^ (i as u64) << 8)
+        })
+        .collect()
+}
+
+/// Baseline context of one mix: alone IPCs and the unmitigated run.
+#[derive(Debug, Clone)]
+pub struct MixContext {
+    /// The mix.
+    pub mix: Mix,
+    /// Per-core alone IPCs.
+    pub ipc_alone: Vec<f64>,
+    /// Unmitigated multi-programmed report.
+    pub baseline: SimReport,
+}
+
+impl MixContext {
+    /// Weighted speedup of the baseline run.
+    pub fn baseline_ws(&self) -> f64 {
+        self.baseline.weighted_speedup(&self.ipc_alone)
+    }
+}
+
+/// Runs a mix under one mechanism.
+pub fn run_mix(apps: &[AppProfile], mech: MechanismKind, nrh: u32, opts: &HarnessOpts) -> SimReport {
+    let mut cfg = SimConfig::four_core();
+    cfg.num_cores = apps.len();
+    cfg.instructions_per_core = opts.instructions;
+    cfg.mechanism = mech;
+    cfg.nrh = nrh;
+    cfg.seed = opts.seed;
+    cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+    let traces = mix_traces(apps, opts.instructions, opts.seed);
+    System::build(&cfg).run(traces)
+}
+
+fn build_contexts(mixes: &[Mix], opts: &HarnessOpts) -> Vec<MixContext> {
+    run_parallel(mixes.to_vec(), opts.threads, |mix| {
+        let traces = mix_traces(&mix.apps, opts.instructions, opts.seed);
+        let mut single = SimConfig::single_core();
+        single.instructions_per_core = opts.instructions;
+        single.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+        let ipc_alone: Vec<f64> = traces
+            .iter()
+            .map(|t| alone_ipc(t.clone(), &single))
+            .collect();
+        let baseline = run_mix(&mix.apps, MechanismKind::None, 1024, opts);
+        MixContext {
+            mix,
+            ipc_alone,
+            baseline,
+        }
+    })
+}
+
+/// Full multi-core sweep: `mechanisms × nrh_list` over the configured
+/// mixes, producing normalised rows (Fig. 4, 8, 9, 10, 12).
+pub fn sweep_mixes(
+    mechanisms: &[MechanismKind],
+    nrh_list: &[u32],
+    opts: &HarnessOpts,
+) -> Vec<SweepRow> {
+    let mixes = four_core_mixes(opts.mixes_per_class, opts.seed);
+    let contexts = build_contexts(&mixes, opts);
+    let mut jobs = Vec::new();
+    for ctx_idx in 0..contexts.len() {
+        for &mech in mechanisms {
+            for &nrh in nrh_list {
+                jobs.push((ctx_idx, mech, nrh));
+            }
+        }
+    }
+    let contexts_ref = &contexts;
+    run_parallel(jobs, opts.threads, move |(ctx_idx, mech, nrh)| {
+        let ctx = &contexts_ref[ctx_idx];
+        let report = run_mix(&ctx.mix.apps, mech, nrh, opts);
+        let ws_norm = report.weighted_speedup(&ctx.ipc_alone) / ctx.baseline_ws();
+        SweepRow {
+            workload: ctx.mix.name.clone(),
+            class: ctx.mix.class.label(),
+            mechanism: report.mechanism.clone(),
+            nrh,
+            ws_norm,
+            energy_norm: report.energy_normalized_to(&ctx.baseline),
+            secure: report.secure,
+            back_offs: report.ctrl.back_offs,
+            preventive_rows: report.dram.rfm_victim_rows
+                + report.dram.vrrs
+                + report.dram.borrowed_refreshes * 4,
+        }
+    })
+}
+
+/// Single-core sweep over applications (Fig. 7, Fig. 14/15 building block).
+pub fn sweep_single_core(
+    apps: &[AppProfile],
+    mechanisms: &[MechanismKind],
+    nrh_list: &[u32],
+    opts: &HarnessOpts,
+    num_cores: usize,
+    large_llc: bool,
+) -> Vec<SweepRow> {
+    // Phase A: per-app homogeneous baseline.
+    let baselines = run_parallel(apps.to_vec(), opts.threads, |app| {
+        run_homogeneous(&app, MechanismKind::None, 1024, opts, num_cores, large_llc)
+    });
+    let mut jobs = Vec::new();
+    for (i, _) in apps.iter().enumerate() {
+        for &mech in mechanisms {
+            for &nrh in nrh_list {
+                jobs.push((i, mech, nrh));
+            }
+        }
+    }
+    let baselines_ref = &baselines;
+    run_parallel(jobs, opts.threads, move |(i, mech, nrh)| {
+        let app = &apps[i];
+        let base = &baselines_ref[i];
+        let report = run_homogeneous(app, mech, nrh, opts, num_cores, large_llc);
+        // Homogeneous normalised WS reduces to the IPC-sum ratio.
+        let ws_norm = report.ipc.iter().sum::<f64>() / base.ipc.iter().sum::<f64>();
+        SweepRow {
+            workload: app.name.to_string(),
+            class: app.class().letter().to_string(),
+            mechanism: report.mechanism.clone(),
+            nrh,
+            ws_norm,
+            energy_norm: report.energy_normalized_to(base),
+            secure: report.secure,
+            back_offs: report.ctrl.back_offs,
+            preventive_rows: report.dram.rfm_victim_rows
+                + report.dram.vrrs
+                + report.dram.borrowed_refreshes * 4,
+        }
+    })
+}
+
+/// Pivots sweep rows into a mechanism × N_RH table of geometric means.
+pub fn pivot_geomean(
+    rows: &[SweepRow],
+    nrh_list: &[u32],
+    value: impl Fn(&SweepRow) -> f64,
+) -> Vec<Vec<String>> {
+    let mut mech_order: Vec<String> = Vec::new();
+    for r in rows {
+        if !mech_order.contains(&r.mechanism) {
+            mech_order.push(r.mechanism.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for mech in &mech_order {
+        let mut line = vec![mech.clone()];
+        for &nrh in nrh_list {
+            let vals: Vec<f64> = rows
+                .iter()
+                .filter(|r| &r.mechanism == mech && r.nrh == nrh)
+                .map(&value)
+                .collect();
+            let unsafe_marker = rows
+                .iter()
+                .any(|r| &r.mechanism == mech && r.nrh == nrh && !r.secure);
+            let g = crate::tables::geomean(&vals);
+            line.push(if vals.is_empty() {
+                "-".into()
+            } else if unsafe_marker {
+                format!("{g:.3}!")
+            } else {
+                format!("{g:.3}")
+            });
+        }
+        out.push(line);
+    }
+    out
+}
+
+/// Runs `num_cores` copies of one application (single-core when 1).
+pub fn run_homogeneous(
+    app: &AppProfile,
+    mech: MechanismKind,
+    nrh: u32,
+    opts: &HarnessOpts,
+    num_cores: usize,
+    large_llc: bool,
+) -> SimReport {
+    let mut cfg = if large_llc {
+        SimConfig::eight_core_large_llc()
+    } else {
+        SimConfig::four_core()
+    };
+    cfg.num_cores = num_cores;
+    cfg.instructions_per_core = opts.instructions;
+    cfg.mechanism = mech;
+    cfg.nrh = nrh;
+    cfg.seed = opts.seed;
+    cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+    let traces: Vec<Trace> = (0..num_cores)
+        .map(|i| {
+            synthetic_from_profile(*app, i as u64)
+                .generate(opts.instructions + opts.instructions / 10, opts.seed ^ i as u64)
+        })
+        .collect();
+    System::build(&cfg).run(traces)
+}

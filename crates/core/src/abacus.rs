@@ -1,0 +1,146 @@
+//! ABACuS [Olgun+, USENIX Security'24]: all-bank activation counters
+//! (Appendix C).
+//!
+//! Key observation: under interleaved address mappings, workloads touch
+//! the *same row address* in many banks at around the same time. ABACuS
+//! therefore keeps **one** Misra–Gries counter per sibling-row address
+//! (shared across all banks) instead of a counter per (bank, row),
+//! shrinking storage dramatically. When a sibling counter reaches
+//! `N_RH / 2`, the victims of that row address are refreshed **in every
+//! bank**.
+
+use chronus_ctrl::{CtrlMitigation, CtrlMitigationStats, MitigationAction};
+use chronus_dram::{BankId, Cycle, DramAddr, Geometry};
+
+use crate::misra_gries::MisraGries;
+
+/// The ABACuS mechanism.
+#[derive(Debug)]
+pub struct Abacus {
+    geo: Geometry,
+    threshold: u32,
+    table: MisraGries,
+    epoch_cycles: u64,
+    epoch_end: Cycle,
+    stats: CtrlMitigationStats,
+}
+
+impl Abacus {
+    /// ABACuS configured for `nrh`; the single shared table is sized like
+    /// one Graphene bank table (`max_acts_per_epoch / T`).
+    pub fn for_nrh(geo: Geometry, nrh: u32, max_acts_per_epoch: u64, epoch_cycles: u64) -> Self {
+        let threshold = (nrh / 2).max(1);
+        let entries = (max_acts_per_epoch / threshold as u64 + 1) as usize;
+        Self {
+            geo,
+            threshold,
+            table: MisraGries::new(entries),
+            epoch_cycles,
+            epoch_end: epoch_cycles,
+            stats: CtrlMitigationStats::default(),
+        }
+    }
+
+    /// The trigger threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Counters in the shared table.
+    pub fn entries(&self) -> usize {
+        self.table.capacity()
+    }
+}
+
+impl CtrlMitigation for Abacus {
+    fn on_activate(&mut self, addr: DramAddr, now: Cycle, actions: &mut Vec<MitigationAction>) {
+        if now >= self.epoch_end {
+            self.table.clear();
+            self.epoch_end = now - now % self.epoch_cycles + self.epoch_cycles;
+        }
+        let est = self.table.observe(addr.row);
+        if est >= self.threshold {
+            self.table.reset_row(addr.row);
+            self.stats.triggers += 1;
+            // Refresh the sibling row's victims in every bank.
+            for flat in 0..self.geo.total_banks() {
+                self.stats.victim_refreshes += 1;
+                actions.push(MitigationAction::RefreshVictims {
+                    bank: BankId::from_flat(flat, &self.geo),
+                    aggressor: addr.row,
+                });
+            }
+        }
+    }
+
+    fn stats(&self) -> CtrlMitigationStats {
+        self.stats
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "abacus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mech(nrh: u32) -> Abacus {
+        Abacus::for_nrh(Geometry::tiny(), nrh, 680_000, 51_200_000)
+    }
+
+    #[test]
+    fn sibling_rows_share_one_counter() {
+        let mut a = mech(8); // T = 4
+        let mut actions = Vec::new();
+        // Two activations to row 5 in bank 0, two in bank 1: the shared
+        // counter reaches 4 → trigger.
+        let b0 = BankId::new(0, 0, 0);
+        let b1 = BankId::new(0, 0, 1);
+        a.on_activate(DramAddr::new(b0, 5, 0), 0, &mut actions);
+        a.on_activate(DramAddr::new(b1, 5, 0), 0, &mut actions);
+        a.on_activate(DramAddr::new(b0, 5, 0), 0, &mut actions);
+        assert!(actions.is_empty());
+        a.on_activate(DramAddr::new(b1, 5, 0), 0, &mut actions);
+        assert_eq!(a.stats().triggers, 1);
+    }
+
+    #[test]
+    fn trigger_refreshes_all_banks() {
+        let mut a = mech(2); // T = 1: first activation triggers
+        let mut actions = Vec::new();
+        a.on_activate(DramAddr::new(BankId::new(0, 0, 0), 5, 0), 0, &mut actions);
+        assert_eq!(actions.len(), Geometry::tiny().total_banks());
+        let banks: std::collections::HashSet<_> = actions
+            .iter()
+            .map(|x| match x {
+                MitigationAction::RefreshVictims { bank, aggressor } => {
+                    assert_eq!(*aggressor, 5);
+                    *bank
+                }
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(banks.len(), Geometry::tiny().total_banks());
+    }
+
+    #[test]
+    fn storage_is_one_table_not_per_bank() {
+        let a = mech(1024);
+        // One shared table of W/T entries (Graphene would hold 64 of them).
+        assert_eq!(a.entries(), (680_000 / 512 + 1) as usize);
+    }
+
+    #[test]
+    fn epoch_reset() {
+        let mut a = Abacus::for_nrh(Geometry::tiny(), 8, 680_000, 1000);
+        let mut actions = Vec::new();
+        for _ in 0..3 {
+            a.on_activate(DramAddr::new(BankId::new(0, 0, 0), 5, 0), 0, &mut actions);
+        }
+        assert!(actions.is_empty());
+        a.on_activate(DramAddr::new(BankId::new(0, 0, 0), 5, 0), 1500, &mut actions);
+        assert!(actions.is_empty(), "epoch reset restarted the count");
+    }
+}

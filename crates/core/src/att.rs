@@ -1,0 +1,203 @@
+//! The Aggressor Tracking Table (§3).
+//!
+//! PRAC and Chronus cannot scan all per-row counters during an RFM, so each
+//! bank keeps a small table of the rows with the highest activation counts.
+//! The update rule follows §3 verbatim: on precharge, a row is recorded if
+//! it is already present, if an entry is invalid, or if its count exceeds
+//! the table's minimum.
+
+use chronus_dram::RowId;
+
+/// A k-entry aggressor tracking table for one bank.
+#[derive(Debug, Clone)]
+pub struct Att {
+    entries: Vec<Option<(RowId, u32)>>,
+}
+
+impl Att {
+    /// A table with `capacity` entries, all invalid (§8: `A_normal + 1`,
+    /// i.e. 4 entries, suffices for DDR5).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "the ATT needs at least one entry");
+        Self {
+            entries: vec![None; capacity],
+        }
+    }
+
+    /// Table capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// True if no entry is valid.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(|e| e.is_none())
+    }
+
+    /// Records `row` with activation count `count` (the §3 update rule).
+    pub fn observe(&mut self, row: RowId, count: u32) {
+        // 1. Already present: update the count.
+        for e in self.entries.iter_mut().flatten() {
+            if e.0 == row {
+                e.1 = count;
+                return;
+            }
+        }
+        // 2. An invalid entry exists: insert.
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
+            *slot = Some((row, count));
+            return;
+        }
+        // 3. Replace the minimum if the new count exceeds it.
+        let min = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| e.map(|(_, c)| c).unwrap_or(0))
+            .expect("table is non-empty");
+        if count > min.expect("all valid here").1 {
+            *min = Some((row, count));
+        }
+    }
+
+    /// Sampler variant for counter-less devices (PRFM TRR): present → +1,
+    /// otherwise insert with count 1, replacing the minimum entry if full.
+    pub fn bump(&mut self, row: RowId) {
+        for e in self.entries.iter_mut().flatten() {
+            if e.0 == row {
+                e.1 += 1;
+                return;
+            }
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
+            *slot = Some((row, 1));
+            return;
+        }
+        let min = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| e.map(|(_, c)| c).unwrap_or(0))
+            .expect("table is non-empty");
+        *min = Some((row, 1));
+    }
+
+    /// The entry with the maximum count, without removing it.
+    pub fn peek_max(&self) -> Option<(RowId, u32)> {
+        self.entries.iter().flatten().max_by_key(|(_, c)| *c).copied()
+    }
+
+    /// Removes and returns the entry with the maximum count (the RFM
+    /// service rule: refresh the victims of the hottest tracked row).
+    pub fn take_max(&mut self) -> Option<(RowId, u32)> {
+        let idx = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|(_, c)| (i, c)))
+            .max_by_key(|&(_, c)| c)
+            .map(|(i, _)| i)?;
+        self.entries[idx].take()
+    }
+
+    /// Invalidates `row`'s entry if present.
+    pub fn remove(&mut self, row: RowId) {
+        for e in self.entries.iter_mut() {
+            if matches!(e, Some((r, _)) if *r == row) {
+                *e = None;
+                return;
+            }
+        }
+    }
+
+    /// Iterates over valid entries.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, u32)> + '_ {
+        self.entries.iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_inserts_until_full() {
+        let mut att = Att::new(2);
+        assert!(att.is_empty());
+        att.observe(1, 5);
+        att.observe(2, 3);
+        assert_eq!(att.len(), 2);
+        assert_eq!(att.peek_max(), Some((1, 5)));
+    }
+
+    #[test]
+    fn observe_updates_existing_entry() {
+        let mut att = Att::new(2);
+        att.observe(1, 5);
+        att.observe(1, 9);
+        assert_eq!(att.len(), 1);
+        assert_eq!(att.peek_max(), Some((1, 9)));
+    }
+
+    #[test]
+    fn observe_replaces_minimum_when_larger() {
+        let mut att = Att::new(2);
+        att.observe(1, 5);
+        att.observe(2, 3);
+        att.observe(3, 4); // beats the min (2,3)
+        let rows: Vec<_> = att.iter().map(|(r, _)| r).collect();
+        assert!(rows.contains(&1) && rows.contains(&3));
+        att.observe(4, 1); // does not beat min (3,4)
+        let rows: Vec<_> = att.iter().map(|(r, _)| r).collect();
+        assert!(!rows.contains(&4));
+    }
+
+    #[test]
+    fn take_max_removes_hottest() {
+        let mut att = Att::new(4);
+        att.observe(10, 7);
+        att.observe(20, 9);
+        att.observe(30, 2);
+        assert_eq!(att.take_max(), Some((20, 9)));
+        assert_eq!(att.take_max(), Some((10, 7)));
+        assert_eq!(att.take_max(), Some((30, 2)));
+        assert_eq!(att.take_max(), None);
+    }
+
+    #[test]
+    fn att_keeps_top_k_counts() {
+        // Feed monotonically counted rows; the table must end up holding
+        // the k rows with the highest final counts.
+        let mut att = Att::new(4);
+        for row in 0..32u32 {
+            att.observe(row, row + 1);
+        }
+        let mut rows: Vec<_> = att.iter().map(|(r, _)| r).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![28, 29, 30, 31]);
+    }
+
+    #[test]
+    fn bump_sampler_counts_and_replaces() {
+        let mut att = Att::new(2);
+        att.bump(1);
+        att.bump(1);
+        att.bump(2);
+        assert_eq!(att.peek_max(), Some((1, 2)));
+        att.bump(3); // replaces min (2,1)
+        let rows: Vec<_> = att.iter().map(|(r, _)| r).collect();
+        assert!(rows.contains(&1) && rows.contains(&3));
+    }
+
+    #[test]
+    fn remove_invalidates() {
+        let mut att = Att::new(2);
+        att.observe(1, 5);
+        att.remove(1);
+        assert!(att.is_empty());
+        att.remove(42); // no-op
+    }
+}

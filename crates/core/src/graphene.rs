@@ -1,0 +1,165 @@
+//! Graphene [Park+, MICRO'20]: Misra–Gries tracking in the memory
+//! controller.
+//!
+//! One Misra–Gries summary per bank; when a row's estimated count reaches
+//! the threshold `T = N_RH / 2`, the controller preventively refreshes all
+//! victims of that row and re-arms the counter. Tables are sized so the
+//! spillover can never mask a threshold crossing within one refresh window
+//! (`entries ≥ W / T`, where `W` is the maximum activations a bank can
+//! serve in `tREFW`), and all state resets every `tREFW` epoch.
+//! Because the number of counters grows as `1/N_RH`, Graphene's CAM
+//! storage explodes at low thresholds (Fig. 11: 50.3× from `N_RH` = 1K to
+//! 20).
+
+use chronus_ctrl::{CtrlMitigation, CtrlMitigationStats, MitigationAction};
+use chronus_dram::{Cycle, DramAddr, Geometry};
+
+use crate::misra_gries::MisraGries;
+
+/// The Graphene mechanism.
+#[derive(Debug)]
+pub struct Graphene {
+    geo: Geometry,
+    threshold: u32,
+    tables: Vec<MisraGries>,
+    epoch_cycles: u64,
+    epoch_end: Cycle,
+    stats: CtrlMitigationStats,
+}
+
+impl Graphene {
+    /// Graphene configured for `nrh`.
+    ///
+    /// `max_acts_per_epoch` is the per-bank activation budget within one
+    /// refresh window (`tREFW / tRC`), which sizes the tables.
+    pub fn for_nrh(geo: Geometry, nrh: u32, max_acts_per_epoch: u64, epoch_cycles: u64) -> Self {
+        let threshold = (nrh / 2).max(1);
+        let entries = (max_acts_per_epoch / threshold as u64 + 1) as usize;
+        Self {
+            geo,
+            threshold,
+            tables: (0..geo.total_banks())
+                .map(|_| MisraGries::new(entries))
+                .collect(),
+            epoch_cycles,
+            epoch_end: epoch_cycles,
+            stats: CtrlMitigationStats::default(),
+        }
+    }
+
+    /// The trigger threshold `T`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Counters per bank table.
+    pub fn entries_per_bank(&self) -> usize {
+        self.tables[0].capacity()
+    }
+}
+
+impl CtrlMitigation for Graphene {
+    fn on_activate(&mut self, addr: DramAddr, now: Cycle, actions: &mut Vec<MitigationAction>) {
+        if now >= self.epoch_end {
+            for t in &mut self.tables {
+                t.clear();
+            }
+            self.epoch_end = now - now % self.epoch_cycles + self.epoch_cycles;
+        }
+        let flat = addr.bank.flat(&self.geo);
+        let est = self.tables[flat].observe(addr.row);
+        if est >= self.threshold {
+            self.tables[flat].reset_row(addr.row);
+            self.stats.triggers += 1;
+            self.stats.victim_refreshes += 1;
+            actions.push(MitigationAction::RefreshVictims {
+                bank: addr.bank,
+                aggressor: addr.row,
+            });
+        }
+    }
+
+    fn stats(&self) -> CtrlMitigationStats {
+        self.stats
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "graphene"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_dram::BankId;
+
+    fn mech(nrh: u32) -> Graphene {
+        Graphene::for_nrh(Geometry::tiny(), nrh, 680_000, 51_200_000)
+    }
+
+    #[test]
+    fn triggers_at_half_nrh() {
+        let mut g = mech(64);
+        assert_eq!(g.threshold(), 32);
+        let addr = DramAddr::new(BankId::new(0, 0, 0), 5, 0);
+        let mut actions = Vec::new();
+        for _ in 0..31 {
+            g.on_activate(addr, 0, &mut actions);
+        }
+        assert!(actions.is_empty());
+        g.on_activate(addr, 0, &mut actions);
+        assert_eq!(
+            actions,
+            vec![MitigationAction::RefreshVictims {
+                bank: addr.bank,
+                aggressor: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn rearms_after_trigger() {
+        let mut g = mech(8);
+        let addr = DramAddr::new(BankId::new(0, 0, 0), 5, 0);
+        let mut actions = Vec::new();
+        for _ in 0..16 {
+            g.on_activate(addr, 0, &mut actions);
+        }
+        assert_eq!(actions.len(), 4, "T=4 → trigger every 4 activations");
+    }
+
+    #[test]
+    fn table_size_scales_inversely_with_nrh() {
+        let big = mech(1024).entries_per_bank();
+        let small = mech(32).entries_per_bank();
+        assert!(small > big * 20, "{small} vs {big}");
+    }
+
+    #[test]
+    fn epoch_reset_clears_counts() {
+        let mut g = Graphene::for_nrh(Geometry::tiny(), 64, 680_000, 1000);
+        let addr = DramAddr::new(BankId::new(0, 0, 0), 5, 0);
+        let mut actions = Vec::new();
+        for _ in 0..31 {
+            g.on_activate(addr, 0, &mut actions);
+        }
+        // Cross the epoch boundary: counts restart.
+        g.on_activate(addr, 1500, &mut actions);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn separate_banks_tracked_independently() {
+        let mut g = mech(8);
+        let a0 = DramAddr::new(BankId::new(0, 0, 0), 5, 0);
+        let a1 = DramAddr::new(BankId::new(0, 0, 1), 5, 0);
+        let mut actions = Vec::new();
+        for _ in 0..3 {
+            g.on_activate(a0, 0, &mut actions);
+            g.on_activate(a1, 0, &mut actions);
+        }
+        assert!(actions.is_empty());
+        g.on_activate(a0, 0, &mut actions);
+        assert_eq!(actions.len(), 1);
+    }
+}

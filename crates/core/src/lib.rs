@@ -1,0 +1,45 @@
+//! Read-disturbance mitigation mechanisms — the paper's core contribution.
+//!
+//! On-DRAM-die mechanisms (implement [`chronus_dram::DramMitigation`]):
+//!
+//! * [`PracMechanism`] — PRAC (JEDEC DDR5, April 2024): per-row activation
+//!   counters incremented during precharge, an Aggressor Tracking Table,
+//!   the `alert_n` back-off, and borrowed refreshes (§3, §5).
+//! * [`ChronusMechanism`] — Chronus (§7): Concurrent Counter Update in a
+//!   separate counter subarray (no timing inflation) plus Chronus Back-Off
+//!   (dynamic refresh count, no delay period). A `dynamic_backoff = false`
+//!   build gives **Chronus-PB** (CCU with PRAC's back-off policy, §9).
+//! * [`PrfmSampler`] — the device-side aggressor sampler PRFM-protected
+//!   chips use to pick RFM victims.
+//!
+//! Controller-side mechanisms (implement [`chronus_ctrl::CtrlMitigation`]):
+//! [`Graphene`], [`Hydra`], [`Para`] and [`Abacus`] (Appendix C).
+//!
+//! [`MechanismKind::build`] assembles any of these into a ready-to-simulate
+//! [`MechanismSetup`], deriving wave-attack-secure thresholds from
+//! `chronus-security` exactly as §5/§8 prescribe.
+
+pub mod abacus;
+pub mod att;
+pub mod chronus;
+pub mod decrementer;
+pub mod graphene;
+pub mod hydra;
+pub mod mechanism;
+pub mod misra_gries;
+pub mod para;
+pub mod prac;
+pub mod prfm;
+pub mod storage;
+
+pub use abacus::Abacus;
+pub use att::Att;
+pub use chronus::ChronusMechanism;
+pub use decrementer::{decrement, Decrementer, GateCensus};
+pub use graphene::Graphene;
+pub use hydra::Hydra;
+pub use mechanism::{MechanismKind, MechanismSetup};
+pub use misra_gries::MisraGries;
+pub use para::Para;
+pub use prac::PracMechanism;
+pub use prfm::PrfmSampler;

@@ -1,0 +1,162 @@
+//! Misra–Gries frequent-item counting with a spillover counter.
+//!
+//! Graphene and ABACuS both build on this structure [Misra & Gries '82;
+//! Park+, MICRO'20]. The table guarantees that any row activated `n` times
+//! within an epoch has an estimated count of at least `n − spillover`, so
+//! a mechanism that triggers at estimated count `T` can never let a true
+//! count exceed `T + spillover_max` undetected.
+
+use chronus_dram::RowId;
+
+/// One Misra–Gries summary.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    entries: Vec<Option<(RowId, u32)>>,
+    spillover: u32,
+}
+
+impl MisraGries {
+    /// A summary with `capacity` counters.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "need at least one counter");
+        Self {
+            entries: vec![None; capacity],
+            spillover: 0,
+        }
+    }
+
+    /// Observes one activation of `row`; returns the row's new estimated
+    /// count.
+    pub fn observe(&mut self, row: RowId) -> u32 {
+        for e in self.entries.iter_mut().flatten() {
+            if e.0 == row {
+                e.1 += 1;
+                return e.1;
+            }
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.is_none()) {
+            let est = self.spillover + 1;
+            *slot = Some((row, est));
+            return est;
+        }
+        // Table full: if some entry equals the spillover count, replace it;
+        // otherwise increment the spillover.
+        let spill = self.spillover;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .flatten()
+            .find(|e| e.1 == spill)
+        {
+            *e = (row, spill + 1);
+            return spill + 1;
+        }
+        self.spillover += 1;
+        self.spillover
+    }
+
+    /// The row's estimated count, if tracked.
+    pub fn estimate(&self, row: RowId) -> Option<u32> {
+        self.entries
+            .iter()
+            .flatten()
+            .find(|e| e.0 == row)
+            .map(|e| e.1)
+    }
+
+    /// Resets `row`'s counter to the current spillover level (post-refresh
+    /// re-arm, as Graphene does).
+    pub fn reset_row(&mut self, row: RowId) {
+        let spill = self.spillover;
+        for e in self.entries.iter_mut().flatten() {
+            if e.0 == row {
+                e.1 = spill;
+                return;
+            }
+        }
+    }
+
+    /// Clears the whole summary (epoch reset every `tREFW`).
+    pub fn clear(&mut self) {
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.spillover = 0;
+    }
+
+    /// Current spillover counter.
+    pub fn spillover(&self) -> u32 {
+        self.spillover
+    }
+
+    /// Number of counters.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_frequent_rows_exactly_when_table_fits() {
+        let mut mg = MisraGries::new(4);
+        for _ in 0..10 {
+            mg.observe(1);
+        }
+        for _ in 0..3 {
+            mg.observe(2);
+        }
+        assert_eq!(mg.estimate(1), Some(10));
+        assert_eq!(mg.estimate(2), Some(3));
+        assert_eq!(mg.spillover(), 0);
+    }
+
+    #[test]
+    fn spillover_grows_under_many_distinct_rows() {
+        let mut mg = MisraGries::new(2);
+        for row in 0..100u32 {
+            mg.observe(row);
+        }
+        assert!(mg.spillover() > 0);
+    }
+
+    #[test]
+    fn undercount_bounded_by_spillover() {
+        // Classic MG guarantee: est ≥ true − spillover. Hammer one row
+        // amid noise and check its estimate.
+        let mut mg = MisraGries::new(4);
+        let mut true_count = 0u32;
+        for i in 0..500u32 {
+            mg.observe(1000);
+            true_count += 1;
+            mg.observe(i % 97); // noise
+        }
+        let est = mg.estimate(1000).unwrap_or(0);
+        assert!(
+            est + mg.spillover() >= true_count,
+            "est {est} + spill {} < true {true_count}",
+            mg.spillover()
+        );
+    }
+
+    #[test]
+    fn reset_rearms_at_spillover_level() {
+        let mut mg = MisraGries::new(2);
+        for _ in 0..9 {
+            mg.observe(5);
+        }
+        mg.reset_row(5);
+        assert_eq!(mg.estimate(5), Some(mg.spillover()));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut mg = MisraGries::new(2);
+        for row in 0..50u32 {
+            mg.observe(row);
+        }
+        mg.clear();
+        assert_eq!(mg.spillover(), 0);
+        assert_eq!(mg.estimate(0), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! PARA: Probabilistic Adjacent Row Activation [Kim+, ISCA'14].
+//!
+//! Stateless: on every activation, with probability `p`, refresh one
+//! randomly chosen neighbour within the blast radius. The paper's
+//! evaluation configures `p` so that the probability a specific victim of
+//! a row hammered `N_RH` times never gets refreshed stays below a failure
+//! target (we use 1e-15 per aggressor epoch):
+//! `(1 − p/4)^N_RH ≤ target  ⇒  p = 4·(1 − target^(1/N_RH))`.
+//! Below `N_RH ≈ 27` the required `p` exceeds 1 and no secure
+//! configuration exists — these are the red-edged "not safe" bars of
+//! Fig. 4/8.
+
+use chronus_ctrl::{CtrlMitigation, CtrlMitigationStats, MitigationAction};
+use chronus_dram::{Cycle, DramAddr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The PARA mechanism.
+#[derive(Debug)]
+pub struct Para {
+    p: f64,
+    blast_radius: u32,
+    rows: usize,
+    rng: StdRng,
+    secure: bool,
+    stats: CtrlMitigationStats,
+}
+
+impl Para {
+    /// PARA configured for `nrh` with the 1e-15 failure target.
+    pub fn for_nrh(nrh: u32, blast_radius: u32, rows: usize, seed: u64) -> Self {
+        let (p, secure) = Self::probability_for(nrh, 1e-15);
+        Self {
+            p,
+            blast_radius,
+            rows,
+            rng: StdRng::seed_from_u64(seed),
+            secure,
+            stats: CtrlMitigationStats::default(),
+        }
+    }
+
+    /// The refresh probability needed for `nrh` at `target` failure
+    /// probability, and whether it is realisable (`p ≤ 1`).
+    pub fn probability_for(nrh: u32, target: f64) -> (f64, bool) {
+        assert!(nrh >= 1);
+        assert!((0.0..1.0).contains(&target));
+        let p = 4.0 * (1.0 - target.powf(1.0 / nrh as f64));
+        if p > 1.0 {
+            (1.0, false)
+        } else {
+            (p, true)
+        }
+    }
+
+    /// The configured per-activation refresh probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Whether the configuration meets the failure target.
+    pub fn is_secure(&self) -> bool {
+        self.secure
+    }
+}
+
+impl CtrlMitigation for Para {
+    fn on_activate(&mut self, addr: DramAddr, _now: Cycle, actions: &mut Vec<MitigationAction>) {
+        if self.rng.gen::<f64>() >= self.p {
+            return;
+        }
+        self.stats.triggers += 1;
+        // Pick one victim uniformly among the ±blast_radius neighbours.
+        let r = self.blast_radius as i64;
+        let mut offset: i64 = self.rng.gen_range(1..=r);
+        if self.rng.gen::<bool>() {
+            offset = -offset;
+        }
+        let victim = addr.row as i64 + offset;
+        if victim < 0 || victim >= self.rows as i64 {
+            return; // edge rows: the out-of-bank neighbour needs no refresh
+        }
+        self.stats.victim_refreshes += 1;
+        actions.push(MitigationAction::RefreshRow {
+            bank: addr.bank,
+            row: victim as u32,
+        });
+    }
+
+    fn stats(&self) -> CtrlMitigationStats {
+        self.stats
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "para"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_dram::BankId;
+
+    #[test]
+    fn probability_matches_closed_form() {
+        let (p, secure) = Para::probability_for(1024, 1e-15);
+        assert!(secure);
+        assert!((p - 0.133).abs() < 0.01, "got {p}");
+        // At N_RH = 32 the required p exceeds 1: no secure configuration
+        // (PARA degrades into refresh-per-activation and is flagged).
+        let (p32, secure32) = Para::probability_for(32, 1e-15);
+        assert!(!secure32);
+        assert_eq!(p32, 1.0);
+    }
+
+    #[test]
+    fn very_low_nrh_is_insecure() {
+        let (p, secure) = Para::probability_for(20, 1e-15);
+        assert_eq!(p, 1.0);
+        assert!(!secure);
+    }
+
+    #[test]
+    fn probability_decreases_with_nrh() {
+        let mut prev = 2.0;
+        for nrh in [128u32, 256, 512, 1024, 4096] {
+            let (p, _) = Para::probability_for(nrh, 1e-15);
+            assert!(p < prev, "nrh={nrh}: {p} !< {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn trigger_rate_tracks_p() {
+        let mut para = Para::for_nrh(128, 2, 1024, 42);
+        let p = para.p();
+        let addr = DramAddr::new(BankId::new(0, 0, 0), 500, 0);
+        let mut actions = Vec::new();
+        let n = 20_000;
+        for _ in 0..n {
+            para.on_activate(addr, 0, &mut actions);
+        }
+        let rate = para.stats().triggers as f64 / n as f64;
+        assert!((rate - p).abs() < 0.02, "rate {rate} vs p {p}");
+        // All refreshed rows are within the blast radius.
+        for a in &actions {
+            let MitigationAction::RefreshRow { row, .. } = a else {
+                panic!("PARA only refreshes single rows");
+            };
+            let d = (*row as i64 - 500).unsigned_abs();
+            assert!((1..=2).contains(&d));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let addr = DramAddr::new(BankId::new(0, 0, 0), 10, 0);
+        let run = |seed: u64| {
+            let mut para = Para::for_nrh(64, 2, 1024, seed);
+            let mut actions = Vec::new();
+            for _ in 0..100 {
+                para.on_activate(addr, 0, &mut actions);
+            }
+            actions.len()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,99 @@
+//! Device-side aggressor sampling for PRFM-protected chips.
+//!
+//! Early-DDR5 PRFM devices have no per-row counters; when the controller's
+//! RAA counters force an RFM, the chip must still pick *which* victims to
+//! refresh. We model the in-DRAM TRR-style sampler as a small
+//! tracking table that counts activations of resident rows (the same
+//! structure our PRAC ATT uses, fed without per-row counters). The paper's
+//! wave-attack analysis (§5, Eq. 1) assumes each RFM refreshes the victims
+//! of one aggressor — which is exactly what this sampler provides.
+
+use chronus_dram::{BankId, Cycle, DramMitigation, Geometry, MitigationStats, RfmOutcome, RowId};
+
+use crate::att::Att;
+
+/// TRR-style activation sampler, one table per bank.
+#[derive(Debug)]
+pub struct PrfmSampler {
+    geo: Geometry,
+    att: Vec<Att>,
+    stats: MitigationStats,
+}
+
+impl PrfmSampler {
+    /// A sampler with `entries` tracking entries per bank.
+    pub fn new(geo: Geometry, entries: usize) -> Self {
+        let banks = geo.total_banks();
+        Self {
+            geo,
+            att: (0..banks).map(|_| Att::new(entries)).collect(),
+            stats: MitigationStats::default(),
+        }
+    }
+}
+
+impl DramMitigation for PrfmSampler {
+    fn on_activate(&mut self, bank: BankId, row: RowId, _now: Cycle) -> bool {
+        self.att[bank.flat(&self.geo)].bump(row);
+        false // PRFM has no back-off signal
+    }
+
+    fn on_precharge(&mut self, _bank: BankId, _row: RowId, _now: Cycle) -> bool {
+        false
+    }
+
+    fn on_rfm(&mut self, bank: BankId, _now: Cycle) -> RfmOutcome {
+        let flat = bank.flat(&self.geo);
+        match self.att[flat].take_max() {
+            Some((row, _)) => {
+                self.stats.rfm_refreshes += 1;
+                RfmOutcome {
+                    refreshed_aggressor: Some(row),
+                }
+            }
+            None => RfmOutcome::default(),
+        }
+    }
+
+    fn on_periodic_refresh(&mut self, _rank: usize, _now: Cycle) -> Vec<(BankId, RowId)> {
+        Vec::new() // no borrowed refresh without counters
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "prfm-sampler"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: BankId = BankId::new(0, 0, 0);
+
+    #[test]
+    fn rfm_refreshes_most_activated_row() {
+        let mut m = PrfmSampler::new(Geometry::tiny(), 4);
+        for _ in 0..5 {
+            m.on_activate(B, 7, 0);
+        }
+        for _ in 0..2 {
+            m.on_activate(B, 9, 0);
+        }
+        assert_eq!(m.on_rfm(B, 1).refreshed_aggressor, Some(7));
+        assert_eq!(m.on_rfm(B, 2).refreshed_aggressor, Some(9));
+        assert_eq!(m.on_rfm(B, 3).refreshed_aggressor, None);
+    }
+
+    #[test]
+    fn never_asserts_backoff() {
+        let mut m = PrfmSampler::new(Geometry::tiny(), 4);
+        for _ in 0..10_000 {
+            assert!(!m.on_activate(B, 1, 0));
+            assert!(!m.on_precharge(B, 1, 0));
+        }
+    }
+}

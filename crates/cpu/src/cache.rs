@@ -1,0 +1,463 @@
+//! The shared last-level cache.
+//!
+//! Write-allocate, writeback, per-set LRU, with MSHR merging: concurrent
+//! misses to one line share a single memory request. Misses and dirty
+//! writebacks surface as [`UncoreRequest`]s that the simulator forwards to
+//! the memory controller; fills come back through [`SharedLlc::on_fill`].
+
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+/// LLC geometry and latency (Table 2 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (8 MiB).
+    pub capacity: usize,
+    /// Associativity (8).
+    pub ways: usize,
+    /// Line size in bytes (64).
+    pub line_bytes: usize,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: u32,
+    /// Maximum outstanding misses.
+    pub mshrs: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 8 << 20,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 24,
+            mshrs: 64,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity / self.line_bytes / self.ways
+    }
+
+    /// The Fig. 14/15 configuration: the 4.5× larger LLC of [Kim+, CAL'25].
+    pub fn large_kim25() -> Self {
+        Self {
+            capacity: 36 << 20,
+            ..Self::default()
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp (bigger = more recent).
+    lru: u64,
+    valid: bool,
+}
+
+/// Result of a load probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadResult {
+    /// In cache; data ready after the hit latency.
+    Hit,
+    /// Miss; the waiter token will be released by a future fill.
+    Miss,
+    /// No MSHR available: retry next cycle.
+    Rejected,
+}
+
+/// A memory request the LLC wants the controller to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UncoreRequest {
+    /// Line-aligned byte address.
+    pub line_addr: u64,
+    /// True for writebacks.
+    pub write: bool,
+    /// True if the read must bypass the cache (non-cacheable load); the
+    /// completion routes straight back to the waiter.
+    pub uncached: bool,
+}
+
+/// Result of a fill: waiters to wake and an optional writeback.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FillOutcome {
+    /// Tokens of loads waiting on this line.
+    pub waiters: Vec<u64>,
+    /// A dirty victim evicted by the fill, if any.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Mshr {
+    waiters: Vec<u64>,
+    /// At least one waiter wants the line cached (demand load/store);
+    /// pure-writeback-allocate entries fill without waiters.
+    fill: bool,
+    /// A store merged into this miss: the line installs dirty
+    /// (write-allocate semantics).
+    dirty: bool,
+}
+
+/// The shared LLC.
+#[derive(Debug)]
+pub struct SharedLlc {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    mshr: HashMap<u64, Mshr>,
+    /// Uncached loads in flight: line address → waiter FIFO. Unlike MSHRs,
+    /// uncached loads never merge (clflush-hammer semantics): every load
+    /// is its own DRAM access, and each fill wakes exactly one waiter.
+    uncached: HashMap<u64, VecDeque<u64>>,
+    uncached_outstanding: usize,
+    /// Requests awaiting forwarding to the memory controller.
+    outbox: VecDeque<UncoreRequest>,
+    lru_clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SharedLlc {
+    /// An empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Self {
+            cfg,
+            sets: (0..sets)
+                .map(|_| {
+                    vec![
+                        Line {
+                            tag: 0,
+                            dirty: false,
+                            lru: 0,
+                            valid: false,
+                        };
+                        cfg.ways
+                    ]
+                })
+                .collect(),
+            mshr: HashMap::new(),
+            uncached: HashMap::new(),
+            uncached_outstanding: 0,
+            outbox: VecDeque::new(),
+            lru_clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line_bytes as u64) % self.sets.len() as u64) as usize
+    }
+
+    fn probe(&mut self, line_addr: u64) -> Option<&mut Line> {
+        let set = self.set_of(line_addr);
+        self.lru_clock += 1;
+        let clock = self.lru_clock;
+        let line = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == line_addr)?;
+        line.lru = clock;
+        Some(line)
+    }
+
+    /// Probes for a cacheable load. On a miss, `token` is parked on the
+    /// line's MSHR (merged with any existing miss).
+    pub fn load(&mut self, addr: u64, token: u64) -> LoadResult {
+        let line = self.line_addr(addr);
+        if self.probe(line).is_some() {
+            self.hits += 1;
+            return LoadResult::Hit;
+        }
+        if let Some(m) = self.mshr.get_mut(&line) {
+            m.waiters.push(token);
+            m.fill = true;
+            self.misses += 1;
+            return LoadResult::Miss;
+        }
+        if self.mshr.len() >= self.cfg.mshrs {
+            return LoadResult::Rejected;
+        }
+        self.misses += 1;
+        self.mshr.insert(
+            line,
+            Mshr {
+                waiters: vec![token],
+                fill: true,
+                dirty: false,
+            },
+        );
+        self.outbox.push_back(UncoreRequest {
+            line_addr: line,
+            write: false,
+            uncached: false,
+        });
+        LoadResult::Miss
+    }
+
+    /// A store (write-allocate): hit marks dirty and completes; a miss
+    /// allocates an MSHR for the read-for-ownership but the store itself is
+    /// posted (returns `true`). Returns `false` when the store must retry
+    /// (MSHR pressure).
+    pub fn store(&mut self, addr: u64) -> bool {
+        let line = self.line_addr(addr);
+        if let Some(l) = self.probe(line) {
+            l.dirty = true;
+            self.hits += 1;
+            return true;
+        }
+        if let Some(m) = self.mshr.get_mut(&line) {
+            m.fill = true;
+            m.dirty = true;
+            self.misses += 1;
+            return true;
+        }
+        if self.mshr.len() >= self.cfg.mshrs {
+            return false;
+        }
+        self.misses += 1;
+        self.mshr.insert(
+            line,
+            Mshr {
+                waiters: Vec::new(),
+                fill: true,
+                dirty: true,
+            },
+        );
+        self.outbox.push_back(UncoreRequest {
+            line_addr: line,
+            write: false,
+            uncached: false,
+        });
+        true
+    }
+
+    /// Marks a previously filled line dirty (deferred store completion on
+    /// RFO fill). No-op if the line is absent.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let line = self.line_addr(addr);
+        if let Some(l) = self.probe(line) {
+            l.dirty = true;
+        }
+    }
+
+    /// A non-cacheable load: always produces its own DRAM read (no
+    /// merging); `token` is woken when that read returns.
+    pub fn load_uncached(&mut self, addr: u64, token: u64) -> LoadResult {
+        if self.uncached_outstanding >= self.cfg.mshrs {
+            return LoadResult::Rejected;
+        }
+        let line = self.line_addr(addr);
+        self.uncached.entry(line).or_default().push_back(token);
+        self.uncached_outstanding += 1;
+        self.outbox.push_back(UncoreRequest {
+            line_addr: line,
+            write: false,
+            uncached: true,
+        });
+        LoadResult::Miss
+    }
+
+    /// The next request to forward to the memory controller, if any.
+    pub fn peek_request(&self) -> Option<&UncoreRequest> {
+        self.outbox.front()
+    }
+
+    /// Removes the request previously returned by
+    /// [`SharedLlc::peek_request`] once the controller accepted it.
+    pub fn pop_request(&mut self) -> Option<UncoreRequest> {
+        self.outbox.pop_front()
+    }
+
+    /// A line read completed. Installs the line (cacheable fills), wakes
+    /// waiters, and reports any dirty eviction; the caller turns the
+    /// writeback into a memory write.
+    pub fn on_fill(&mut self, line_addr: u64, uncached: bool) -> FillOutcome {
+        if uncached {
+            let mut waiters = Vec::new();
+            if let Some(q) = self.uncached.get_mut(&line_addr) {
+                if let Some(t) = q.pop_front() {
+                    waiters.push(t);
+                    self.uncached_outstanding -= 1;
+                }
+                if q.is_empty() {
+                    self.uncached.remove(&line_addr);
+                }
+            }
+            return FillOutcome {
+                waiters,
+                writeback: None,
+            };
+        }
+        let Some(m) = self.mshr.remove(&line_addr) else {
+            return FillOutcome::default();
+        };
+        let mut out = FillOutcome {
+            waiters: m.waiters,
+            writeback: None,
+        };
+        if m.fill {
+            let set = self.set_of(line_addr);
+            self.lru_clock += 1;
+            let clock = self.lru_clock;
+            let victim = self.sets[set]
+                .iter_mut()
+                .min_by_key(|l| if l.valid { l.lru } else { 0 })
+                .expect("ways >= 1");
+            if victim.valid && victim.dirty {
+                out.writeback = Some(victim.tag);
+            }
+            *victim = Line {
+                tag: line_addr,
+                dirty: m.dirty,
+                lru: clock,
+                valid: true,
+            };
+        }
+        out
+    }
+
+    /// (hits, misses) so far.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Outstanding MSHR entries (cacheable + uncached).
+    pub fn inflight(&self) -> usize {
+        self.mshr.len() + self.uncached_outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SharedLlc {
+        SharedLlc::new(CacheConfig {
+            capacity: 4096, // 4 sets of 8 ways… wait, 4096/64/8 = 8 sets
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 10,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn default_config_matches_table2() {
+        let c = CacheConfig::default();
+        assert_eq!(c.sets(), 16_384);
+        assert_eq!(c.capacity, 8 << 20);
+        assert_eq!(c.ways, 8);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.load(0x1000, 7), LoadResult::Miss);
+        let req = c.pop_request().unwrap();
+        assert_eq!(req.line_addr, 0x1000);
+        assert!(!req.write);
+        let fill = c.on_fill(0x1000, false);
+        assert_eq!(fill.waiters, vec![7]);
+        assert_eq!(c.load(0x1000, 8), LoadResult::Hit);
+    }
+
+    #[test]
+    fn concurrent_misses_merge() {
+        let mut c = small();
+        assert_eq!(c.load(0x1000, 1), LoadResult::Miss);
+        assert_eq!(c.load(0x1040, 2), LoadResult::Miss);
+        assert_eq!(c.load(0x1000, 3), LoadResult::Miss); // merges
+        assert_eq!(c.outbox.len(), 2, "merged miss sends one request");
+        let fill = c.on_fill(0x1000, false);
+        assert_eq!(fill.waiters, vec![1, 3]);
+    }
+
+    #[test]
+    fn mshr_capacity_rejects() {
+        let mut c = small();
+        for i in 0..4u64 {
+            assert_eq!(c.load(0x10000 + i * 64, i), LoadResult::Miss);
+        }
+        assert_eq!(c.load(0x90000, 99), LoadResult::Rejected);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = small();
+        // Fill both ways of one set with dirty lines, then force eviction.
+        let set_stride = 64 * 32; // 2048-byte stride maps to the same set (32 sets)
+        let a = 0x0;
+        let b = a + set_stride;
+        let d = b + set_stride;
+        for addr in [a, b] {
+            assert!(c.store(addr));
+            c.on_fill(addr, false);
+        }
+        assert_eq!(c.load(d, 5), LoadResult::Miss);
+        let fill = c.on_fill(d, false);
+        assert!(fill.writeback.is_some(), "a dirty victim must write back");
+    }
+
+    #[test]
+    fn store_miss_installs_dirty_line() {
+        // Write-allocate: the RFO fill must carry the store's dirty bit so
+        // the eventual eviction writes back to DRAM.
+        let mut c = small();
+        assert!(c.store(0x1000));
+        let req = c.pop_request().unwrap();
+        assert!(!req.write, "RFO is a read");
+        c.on_fill(0x1000, false);
+        // Evict it via two more fills into the same set.
+        let stride = 64 * 32;
+        for i in 1..=2u64 {
+            c.load(0x1000 + i * stride, i);
+            let out = c.on_fill(0x1000 + i * stride, false);
+            if i == 2 {
+                assert_eq!(out.writeback, Some(0x1000), "store data lost");
+            }
+        }
+    }
+
+    #[test]
+    fn uncached_loads_never_install() {
+        let mut c = small();
+        assert_eq!(c.load_uncached(0x5000, 9), LoadResult::Miss);
+        let req = c.pop_request().unwrap();
+        assert!(req.uncached);
+        let fill = c.on_fill(0x5000, true);
+        assert_eq!(fill.waiters, vec![9]);
+        // Still a miss afterwards: nothing was cached.
+        assert_eq!(c.load(0x5000, 10), LoadResult::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        let stride = 64 * 32;
+        let (a, b, d) = (0u64, stride, 2 * stride);
+        c.load(a, 1);
+        c.on_fill(a, false);
+        c.load(b, 2);
+        c.on_fill(b, false);
+        // Touch `a` so `b` is LRU.
+        assert_eq!(c.load(a, 3), LoadResult::Hit);
+        c.load(d, 4);
+        c.on_fill(d, false);
+        assert_eq!(c.load(a, 5), LoadResult::Hit, "a must survive");
+        assert_eq!(c.load(b, 6), LoadResult::Miss, "b was evicted");
+    }
+}

@@ -1,0 +1,26 @@
+//! Trace-driven CPU frontend: cores, shared LLC, and system metrics.
+//!
+//! Models the processor side of Table 2: 4.2 GHz cores with a 128-entry
+//! instruction window and 4-wide issue/retire, above a shared 8 MiB,
+//! 8-way, 64 B-line last-level cache with MSHR-based miss handling.
+//!
+//! * [`trace`] — the memory-trace format (`bubbles` non-memory
+//!   instructions followed by a load/store), compatible in spirit with
+//!   Ramulator 2.0's SimpleO3 traces, plus a non-cacheable load used by
+//!   adversarial patterns (modelling `clflush`-based hammering).
+//! * [`cache`] — the shared LLC: write-allocate, writeback, LRU, MSHR
+//!   merging; misses surface as line requests the simulator forwards to
+//!   the memory controller.
+//! * [`core`] — the SimpleO3-style core model.
+//! * [`metrics`] — weighted speedup [Snavely & Tullsen, ASPLOS'00] and
+//!   maximum slowdown, the paper's performance metrics.
+
+pub mod cache;
+pub mod core;
+pub mod metrics;
+pub mod trace;
+
+pub use cache::{CacheConfig, FillOutcome, LoadResult, SharedLlc, UncoreRequest};
+pub use core::{CoreConfig, CoreState, SimpleO3Core};
+pub use metrics::{max_slowdown, weighted_speedup};
+pub use trace::{Trace, TraceEntry, TraceOp};

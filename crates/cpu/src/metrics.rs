@@ -1,0 +1,67 @@
+//! System-level performance metrics.
+//!
+//! The paper reports weighted speedup [Snavely & Tullsen, ASPLOS'00;
+//! Eyerman & Eeckhout, IEEE Micro'08] normalised to a no-mitigation
+//! baseline, and maximum single-application slowdown for the §11
+//! performance-attack study.
+
+/// Weighted speedup: `Σ IPC_shared(i) / IPC_alone(i)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any alone-IPC is zero.
+pub fn weighted_speedup(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
+    assert_eq!(ipc_shared.len(), ipc_alone.len(), "core count mismatch");
+    ipc_shared
+        .iter()
+        .zip(ipc_alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum()
+}
+
+/// Maximum slowdown across applications: `max_i (1 − IPC_shared/IPC_alone)`,
+/// as a fraction in `[0, 1)` for slowed-down workloads.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any alone-IPC is zero.
+pub fn max_slowdown(ipc_shared: &[f64], ipc_alone: &[f64]) -> f64 {
+    assert_eq!(ipc_shared.len(), ipc_alone.len(), "core count mismatch");
+    ipc_shared
+        .iter()
+        .zip(ipc_alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            1.0 - s / a
+        })
+        .fold(f64::MIN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unimpeded_cores_score_core_count() {
+        let ipc = [1.5, 2.0, 0.5, 3.0];
+        assert!((weighted_speedup(&ipc, &ipc) - 4.0).abs() < 1e-12);
+        assert!(max_slowdown(&ipc, &ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdowns_reduce_the_sum() {
+        let shared = [0.5, 1.0];
+        let alone = [1.0, 1.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.5).abs() < 1e-12);
+        assert!((max_slowdown(&shared, &alone) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

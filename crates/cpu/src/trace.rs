@@ -1,0 +1,198 @@
+//! Memory-trace representation and (de)serialisation.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+/// One memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Cacheable load of the line containing `addr`.
+    Load(u64),
+    /// Cacheable store to the line containing `addr`.
+    Store(u64),
+    /// Non-cacheable load (models `clflush` + load hammering; bypasses the
+    /// LLC and always reaches DRAM).
+    LoadNc(u64),
+}
+
+impl TraceOp {
+    /// The byte address accessed.
+    pub fn addr(&self) -> u64 {
+        match *self {
+            TraceOp::Load(a) | TraceOp::Store(a) | TraceOp::LoadNc(a) => a,
+        }
+    }
+}
+
+/// `bubbles` non-memory instructions followed by one memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Non-memory instructions preceding the operation.
+    pub bubbles: u32,
+    /// The memory operation.
+    pub op: TraceOp,
+}
+
+/// A complete application trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Human-readable trace name (e.g. the application it models).
+    pub name: String,
+    /// The entries, in program order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Total instructions represented (bubbles + memory operations).
+    pub fn instructions(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.bubbles as u64 + 1)
+            .sum()
+    }
+
+    /// Memory operations per kilo-instruction.
+    pub fn mpki(&self) -> f64 {
+        let insts = self.instructions();
+        if insts == 0 {
+            0.0
+        } else {
+            self.entries.len() as f64 * 1000.0 / insts as f64
+        }
+    }
+
+    /// Fraction of memory operations that are loads (cacheable or not).
+    pub fn read_fraction(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let reads = self
+            .entries
+            .iter()
+            .filter(|e| !matches!(e.op, TraceOp::Store(_)))
+            .count();
+        reads as f64 / self.entries.len() as f64
+    }
+
+    /// Writes the text format: one `"<bubbles> <L|S|N> <hex addr>"` line
+    /// per entry, preceded by a `# name` header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_text<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "# {}", self.name)?;
+        for e in &self.entries {
+            let (tag, addr) = match e.op {
+                TraceOp::Load(a) => ('L', a),
+                TraceOp::Store(a) => ('S', a),
+                TraceOp::LoadNc(a) => ('N', a),
+            };
+            writeln!(w, "{} {} {:#x}", e.bubbles, tag, addr)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the text format produced by [`Trace::write_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on malformed lines and propagates I/O errors.
+    pub fn read_text<R: Read>(r: R) -> io::Result<Self> {
+        let mut trace = Trace::new("unnamed");
+        for line in BufReader::new(r).lines() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('#') {
+                trace.name = name.trim().to_string();
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = || io::Error::new(io::ErrorKind::InvalidData, format!("bad line: {line}"));
+            let bubbles: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+            let tag = parts.next().ok_or_else(err)?;
+            let addr_s = parts.next().ok_or_else(err)?;
+            let addr = if let Some(hex) = addr_s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).map_err(|_| err())?
+            } else {
+                addr_s.parse().map_err(|_| err())?
+            };
+            let op = match tag {
+                "L" => TraceOp::Load(addr),
+                "S" => TraceOp::Store(addr),
+                "N" => TraceOp::LoadNc(addr),
+                _ => return Err(err()),
+            };
+            trace.entries.push(TraceEntry { bubbles, op });
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            name: "sample".into(),
+            entries: vec![
+                TraceEntry {
+                    bubbles: 10,
+                    op: TraceOp::Load(0x1000),
+                },
+                TraceEntry {
+                    bubbles: 0,
+                    op: TraceOp::Store(0x2040),
+                },
+                TraceEntry {
+                    bubbles: 5,
+                    op: TraceOp::LoadNc(0x3000),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn instruction_and_mpki_accounting() {
+        let t = sample();
+        assert_eq!(t.instructions(), 18);
+        assert!((t.mpki() - 3.0 * 1000.0 / 18.0).abs() < 1e-9);
+        assert!((t.read_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        t.write_text(&mut buf).unwrap();
+        let back = Trace::read_text(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let res = Trace::read_text("10 X 0x40\n".as_bytes());
+        assert!(res.is_err());
+        let res = Trace::read_text("notanumber L 0x40\n".as_bytes());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn read_accepts_decimal_addresses() {
+        let t = Trace::read_text("3 L 4096\n".as_bytes()).unwrap();
+        assert_eq!(t.entries[0].op, TraceOp::Load(4096));
+    }
+}

@@ -1,0 +1,713 @@
+//! The memory controller: queues, arbitration, refresh, RFM/back-off.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use chronus_dram::{BankId, Command, Cycle, DramDevice, RowId};
+use serde::{Deserialize, Serialize};
+
+use crate::mapping::AddressMapping;
+use crate::mitigation::{CtrlMitigation, CtrlMitigationStats, MitigationAction, NoCtrlMitigation};
+use crate::refresh::RefreshEngine;
+use crate::request::{Completion, MemRequest, ReqKind, INTERNAL_CORE};
+use crate::rfm::{BackOffFsm, RfmPolicy};
+use crate::scheduler::{self, Decision, Entry};
+
+/// Controller configuration (Table 2 defaults via [`CtrlConfig::default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlConfig {
+    /// Read-queue capacity.
+    pub read_q: usize,
+    /// Write-queue capacity.
+    pub write_q: usize,
+    /// FR-FCFS column-over-row reordering cap.
+    pub cap: u32,
+    /// Physical-address mapping.
+    pub mapping: AddressMapping,
+    /// Enter write-drain mode at this write-queue occupancy.
+    pub wr_high: usize,
+    /// Leave write-drain mode at this occupancy.
+    pub wr_low: usize,
+    /// Back-off policy (PRAC / Chronus / none).
+    pub rfm_policy: RfmPolicy,
+    /// PRFM: issue an RFM when a bank accumulates this many activations.
+    pub raa_threshold: Option<u32>,
+}
+
+impl Default for CtrlConfig {
+    fn default() -> Self {
+        Self {
+            read_q: 64,
+            write_q: 64,
+            cap: 4,
+            mapping: AddressMapping::Mop,
+            wr_high: 48,
+            wr_low: 16,
+            rfm_policy: RfmPolicy::None,
+            raa_threshold: None,
+        }
+    }
+}
+
+/// Controller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlStats {
+    /// Reads served from an already-open row.
+    pub row_hits: u64,
+    /// Reads/writes that required an activation only.
+    pub row_misses: u64,
+    /// Reads/writes that required closing another row first.
+    pub row_conflicts: u64,
+    /// Demand reads completed.
+    pub reads_served: u64,
+    /// Demand writes issued to DRAM.
+    pub writes_served: u64,
+    /// Sum of read latencies (arrival → data), in memory cycles.
+    pub read_latency_sum: u64,
+    /// Victim-row refreshes issued (controller-side mechanisms).
+    pub vrrs_issued: u64,
+    /// RFMs issued by the PRFM RAA counters.
+    pub raa_rfms: u64,
+    /// Back-offs honoured (PRAC / Chronus policies).
+    pub back_offs: u64,
+    /// RFMs issued during back-off recovery periods.
+    pub recovery_rfms: u64,
+}
+
+impl CtrlStats {
+    /// Mean demand-read latency in memory cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_served == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_served as f64
+        }
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct PendingCompletion(Completion);
+
+impl Ord for PendingCompletion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on completion time.
+        other
+            .0
+            .at
+            .cmp(&self.0.at)
+            .then(other.0.id.cmp(&self.0.id))
+    }
+}
+
+impl PartialOrd for PendingCompletion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One pending victim-row refresh. When `completes_service_of` is set,
+/// issuing this VRR finishes a whole victim group and the controller
+/// notifies the device's oracle that the aggressor has been serviced.
+#[derive(Debug, Clone, Copy)]
+struct PendingVrr {
+    bank: BankId,
+    row: RowId,
+    completes_service_of: Option<RowId>,
+}
+
+/// The DDR5 memory controller.
+pub struct MemoryController {
+    cfg: CtrlConfig,
+    reads: Vec<Entry>,
+    writes: Vec<Entry>,
+    /// Pending victim-row refreshes (strict priority over demand).
+    vrrq: VecDeque<PendingVrr>,
+    completions: BinaryHeap<PendingCompletion>,
+    fsm: Vec<BackOffFsm>,
+    refresh: Vec<RefreshEngine>,
+    /// PRFM rolling activation counters, per flat bank.
+    raa: Vec<u32>,
+    /// Ranks whose RAA counters demand an RFM before further activations
+    /// (recomputed every tick; blocks demand like a recovery period).
+    raa_hot: Vec<bool>,
+    hit_streak: Vec<u32>,
+    mitigation: Box<dyn CtrlMitigation>,
+    drain_mode: bool,
+    actions_buf: Vec<MitigationAction>,
+    stats: CtrlStats,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("cfg", &self.cfg)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .field("vrrq", &self.vrrq.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MemoryController {
+    /// A controller for the given device geometry.
+    pub fn new(cfg: CtrlConfig, dram: &DramDevice) -> Self {
+        Self::with_mitigation(cfg, dram, Box::new(NoCtrlMitigation))
+    }
+
+    /// A controller with a controller-side mitigation mechanism attached.
+    pub fn with_mitigation(
+        cfg: CtrlConfig,
+        dram: &DramDevice,
+        mitigation: Box<dyn CtrlMitigation>,
+    ) -> Self {
+        let geo = dram.geometry();
+        let refi = dram.timings().refi;
+        Self {
+            cfg,
+            reads: Vec::with_capacity(cfg.read_q),
+            writes: Vec::with_capacity(cfg.write_q),
+            vrrq: VecDeque::new(),
+            completions: BinaryHeap::new(),
+            fsm: (0..geo.ranks).map(|_| BackOffFsm::new(cfg.rfm_policy)).collect(),
+            refresh: (0..geo.ranks).map(|_| RefreshEngine::new(refi)).collect(),
+            raa: vec![0; geo.total_banks()],
+            raa_hot: vec![false; geo.ranks],
+            hit_streak: vec![0; geo.total_banks()],
+            mitigation,
+            drain_mode: false,
+            actions_buf: Vec::new(),
+            stats: CtrlStats::default(),
+        }
+    }
+
+    /// Whether a new request of `kind` can be accepted this cycle.
+    pub fn can_accept(&self, kind: ReqKind) -> bool {
+        match kind {
+            ReqKind::Read => self.reads.len() < self.cfg.read_q,
+            ReqKind::Write => self.writes.len() < self.cfg.write_q,
+        }
+    }
+
+    /// Enqueues a demand request. Returns `false` (rejecting the request)
+    /// when the corresponding queue is full.
+    pub fn push_request(&mut self, req: MemRequest) -> bool {
+        if !self.can_accept(req.kind) {
+            return false;
+        }
+        match req.kind {
+            ReqKind::Read => self.reads.push(Entry::new(req)),
+            ReqKind::Write => self.writes.push(Entry::new(req)),
+        }
+        true
+    }
+
+    /// Delivers completions whose data has arrived by `now`.
+    pub fn drain_completions(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        while let Some(PendingCompletion(c)) = self.completions.peek() {
+            if c.at > now {
+                break;
+            }
+            let c = *c;
+            self.completions.pop();
+            out.push(c);
+        }
+    }
+
+    /// Outstanding demand requests (both queues).
+    pub fn pending_requests(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Outstanding victim refreshes.
+    pub fn pending_vrrs(&self) -> usize {
+        self.vrrq.len()
+    }
+
+    /// Reads still waiting for data.
+    pub fn pending_reads(&self) -> usize {
+        self.reads.len() + self.completions.len()
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &CtrlStats {
+        &self.stats
+    }
+
+    /// Controller-side mechanism statistics.
+    pub fn mitigation_stats(&self) -> CtrlMitigationStats {
+        self.mitigation.stats()
+    }
+
+    /// The attached controller-side mechanism.
+    pub fn mitigation(&self) -> &dyn CtrlMitigation {
+        self.mitigation.as_ref()
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &CtrlConfig {
+        &self.cfg
+    }
+
+    /// Advances the controller by one memory cycle, issuing at most one
+    /// command to the device.
+    pub fn tick(&mut self, dram: &mut DramDevice, now: Cycle) {
+        let t = *dram.timings();
+        let ranks = dram.geometry().ranks;
+        for r in 0..ranks {
+            self.refresh[r].tick(now);
+            self.fsm[r].tick(now);
+            if dram.alert_visible(r, now) && self.fsm[r].on_alert(now, t.aboact) {
+                self.stats.back_offs += 1;
+                dram.clear_alert(r);
+            }
+        }
+
+        // 1. Back-off recovery: PREab then RFMab until the period ends.
+        for r in 0..ranks {
+            if !self.fsm[r].in_recovery() {
+                continue;
+            }
+            if !dram.rank_all_idle(r) {
+                let cmd = Command::PreAll { rank: r };
+                if dram.can_issue(&cmd, now) {
+                    dram.issue(&cmd, now);
+                    return;
+                }
+                // Wait for tRAS etc.; nothing else may touch this rank.
+                continue;
+            }
+            let cmd = Command::RfmAll { rank: r };
+            if dram.can_issue(&cmd, now) {
+                dram.issue(&cmd, now);
+                self.stats.recovery_rfms += 1;
+                let still = dram.alert_still_needed(r);
+                if self.fsm[r].on_recovery_rfm(still) {
+                    dram.clear_alert(r);
+                }
+                return;
+            }
+            // RFM blocked (previous RFM/REF in flight): hold the rank.
+        }
+
+        // 2. Urgent refresh (postponement limit reached).
+        for r in 0..ranks {
+            if !self.refresh[r].urgent() || self.fsm[r].in_recovery() {
+                continue;
+            }
+            if self.try_refresh(dram, r, now) {
+                return;
+            }
+        }
+
+        // 3. PRFM: RAA threshold crossed somewhere in the rank. A hot rank
+        // blocks further demand (the DDR5 RAA maximum-limit rule) so its
+        // banks drain, precharge, and the RFM can issue.
+        if let Some(th) = self.cfg.raa_threshold {
+            for r in 0..ranks {
+                let base = r * dram.geometry().banks_per_rank();
+                self.raa_hot[r] = (0..dram.geometry().banks_per_rank())
+                    .any(|i| self.raa[base + i] >= th);
+            }
+            for r in 0..ranks {
+                if self.fsm[r].in_recovery() || !self.raa_hot[r] {
+                    continue;
+                }
+                if !dram.rank_all_idle(r) {
+                    let cmd = Command::PreAll { rank: r };
+                    if dram.can_issue(&cmd, now) {
+                        dram.issue(&cmd, now);
+                        return;
+                    }
+                    continue;
+                }
+                let cmd = Command::RfmAll { rank: r };
+                if dram.can_issue(&cmd, now) {
+                    dram.issue(&cmd, now);
+                    self.stats.raa_rfms += 1;
+                    let base = r * dram.geometry().banks_per_rank();
+                    for i in 0..dram.geometry().banks_per_rank() {
+                        let c = &mut self.raa[base + i];
+                        *c = c.saturating_sub(th);
+                    }
+                    self.raa_hot[r] = (0..dram.geometry().banks_per_rank())
+                        .any(|i| self.raa[base + i] >= th);
+                    return;
+                }
+            }
+        }
+
+        // 4. Opportunistic refresh: due, and the rank has no demand traffic.
+        for r in 0..ranks {
+            if !self.refresh[r].pending() || self.fsm[r].in_recovery() {
+                continue;
+            }
+            let rank_busy = self
+                .reads
+                .iter()
+                .chain(self.writes.iter())
+                .any(|e| e.req.addr.bank.rank as usize == r);
+            if rank_busy {
+                continue;
+            }
+            if self.try_refresh(dram, r, now) {
+                return;
+            }
+        }
+
+        // 5. Victim-row refreshes (strict priority over demand).
+        for i in 0..self.vrrq.len().min(8) {
+            let PendingVrr {
+                bank,
+                row,
+                completes_service_of,
+            } = self.vrrq[i];
+            if self.fsm[bank.rank as usize].in_recovery() {
+                continue;
+            }
+            if dram.open_row(bank).is_some() {
+                let cmd = Command::Pre { bank };
+                if dram.can_issue(&cmd, now) {
+                    dram.issue(&cmd, now);
+                    self.hit_streak[bank.flat(dram.geometry())] = 0;
+                    return;
+                }
+                continue;
+            }
+            let cmd = Command::Vrr { bank, row };
+            if dram.can_issue(&cmd, now) {
+                dram.issue(&cmd, now);
+                self.vrrq.remove(i);
+                self.stats.vrrs_issued += 1;
+                if let Some(aggressor) = completes_service_of {
+                    dram.note_aggressor_serviced(bank, aggressor);
+                }
+                return;
+            }
+        }
+
+        // 6. Demand traffic under FR-FCFS+Cap with write draining.
+        self.update_drain_mode();
+        let serve_writes = self.drain_mode || self.reads.is_empty();
+        let fsm = &self.fsm;
+        let raa_hot = &self.raa_hot;
+        let rank_usable = |r: usize| !fsm[r].in_recovery() && !raa_hot[r];
+        let queue: &Vec<Entry> = if serve_writes { &self.writes } else { &self.reads };
+        let decision = scheduler::pick(queue, dram, now, self.cfg.cap, &self.hit_streak, &rank_usable);
+        let Some(decision) = decision else {
+            // Nothing issuable in the preferred queue; try the other one.
+            let other: &Vec<Entry> = if serve_writes { &self.reads } else { &self.writes };
+            let Some(decision) =
+                scheduler::pick(other, dram, now, self.cfg.cap, &self.hit_streak, &rank_usable)
+            else {
+                return;
+            };
+            self.apply(decision, !serve_writes, dram, now);
+            return;
+        };
+        self.apply(decision, serve_writes, dram, now);
+    }
+
+    fn try_refresh(&mut self, dram: &mut DramDevice, rank: usize, now: Cycle) -> bool {
+        if !dram.rank_all_idle(rank) {
+            let cmd = Command::PreAll { rank };
+            if dram.can_issue(&cmd, now) {
+                dram.issue(&cmd, now);
+                return true;
+            }
+            return false;
+        }
+        let cmd = Command::RefAll { rank };
+        if dram.can_issue(&cmd, now) {
+            dram.issue(&cmd, now);
+            self.refresh[rank].refreshed();
+            return true;
+        }
+        false
+    }
+
+    fn update_drain_mode(&mut self) {
+        if self.drain_mode {
+            if self.writes.len() <= self.cfg.wr_low {
+                self.drain_mode = false;
+            }
+        } else if self.writes.len() >= self.cfg.wr_high {
+            self.drain_mode = true;
+        }
+    }
+
+    fn apply(&mut self, decision: Decision, is_write_queue: bool, dram: &mut DramDevice, now: Cycle) {
+        let t = *dram.timings();
+        let geo = *dram.geometry();
+        match decision {
+            Decision::Cas(i, bypass) => {
+                let queue = if is_write_queue {
+                    &mut self.writes
+                } else {
+                    &mut self.reads
+                };
+                let entry = queue.remove(i);
+                let cmd = entry.cas_command();
+                dram.issue(&cmd, now);
+                let flat = entry.req.addr.bank.flat(&geo);
+                // Row-locality classification at service time.
+                if entry.caused_pre {
+                    self.stats.row_conflicts += 1;
+                } else if entry.caused_act {
+                    self.stats.row_misses += 1;
+                } else {
+                    self.stats.row_hits += 1;
+                }
+                // Cap bookkeeping: only bypassing hits build the streak.
+                if bypass {
+                    self.hit_streak[flat] += 1;
+                } else {
+                    self.hit_streak[flat] = 0;
+                }
+                match entry.req.kind {
+                    ReqKind::Read => {
+                        self.stats.reads_served += 1;
+                        let at = now + t.cl + t.bl;
+                        self.stats.read_latency_sum += at - entry.req.arrived;
+                        if entry.req.core != INTERNAL_CORE {
+                            self.completions.push(PendingCompletion(Completion {
+                                id: entry.req.id,
+                                at,
+                            }));
+                        }
+                    }
+                    ReqKind::Write => {
+                        self.stats.writes_served += 1;
+                    }
+                }
+            }
+            Decision::Act(i) => {
+                let queue = if is_write_queue {
+                    &mut self.writes
+                } else {
+                    &mut self.reads
+                };
+                let addr = queue[i].req.addr;
+                queue[i].caused_act = true;
+                let cmd = Command::Act {
+                    bank: addr.bank,
+                    row: addr.row,
+                };
+                dram.issue(&cmd, now);
+                let flat = addr.bank.flat(&geo);
+                self.hit_streak[flat] = 0;
+                self.on_demand_activate(addr, now, dram);
+            }
+            Decision::Pre(i) => {
+                let queue = if is_write_queue {
+                    &mut self.writes
+                } else {
+                    &mut self.reads
+                };
+                let bank = queue[i].req.addr.bank;
+                queue[i].caused_pre = true;
+                let cmd = Command::Pre { bank };
+                dram.issue(&cmd, now);
+                self.hit_streak[bank.flat(&geo)] = 0;
+            }
+        }
+    }
+
+    /// Bookkeeping common to every demand activation: PRFM RAA counters,
+    /// delay-period progress, and the controller-side mechanism.
+    fn on_demand_activate(
+        &mut self,
+        addr: chronus_dram::DramAddr,
+        now: Cycle,
+        dram: &mut DramDevice,
+    ) {
+        let rank = addr.bank.rank as usize;
+        if self.fsm[rank].on_activate() {
+            // Delay period over: any alert latched (and masked) during the
+            // delay is stale per the PRAC spec; the chip reasserts on the
+            // next threshold crossing.
+            dram.clear_alert(rank);
+        }
+        if self.cfg.raa_threshold.is_some() {
+            let flat = addr.bank.flat(dram.geometry());
+            self.raa[flat] = self.raa[flat].saturating_add(1);
+        }
+        self.actions_buf.clear();
+        self.mitigation.on_activate(addr, now, &mut self.actions_buf);
+        let blast = dram.config().blast_radius;
+        let rows = dram.geometry().rows;
+        for a in self.actions_buf.drain(..) {
+            match a {
+                MitigationAction::RefreshVictims { bank, aggressor } => {
+                    let victims = chronus_dram::geometry::victims_of(aggressor, blast, rows);
+                    let last = victims.len().saturating_sub(1);
+                    for (vi, v) in victims.into_iter().enumerate() {
+                        self.vrrq.push_back(PendingVrr {
+                            bank,
+                            row: v,
+                            completes_service_of: (vi == last).then_some(aggressor),
+                        });
+                    }
+                    debug_assert!(self.vrrq.len() < 1 << 20, "runaway VRR queue");
+                }
+                MitigationAction::RefreshRow { bank, row } => {
+                    self.vrrq.push_back(PendingVrr {
+                        bank,
+                        row,
+                        completes_service_of: None,
+                    });
+                    debug_assert!(self.vrrq.len() < 1 << 20, "runaway VRR queue");
+                }
+                MitigationAction::AuxRead { addr } => {
+                    self.reads.push(Entry::new(MemRequest {
+                        id: u64::MAX,
+                        kind: ReqKind::Read,
+                        addr,
+                        core: INTERNAL_CORE,
+                        arrived: now,
+                    }));
+                }
+                MitigationAction::AuxWrite { addr } => {
+                    self.writes.push(Entry::new(MemRequest {
+                        id: u64::MAX,
+                        kind: ReqKind::Write,
+                        addr,
+                        core: INTERNAL_CORE,
+                        arrived: now,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_dram::{DramAddr, DramConfig};
+
+    fn setup(policy: RfmPolicy) -> (MemoryController, DramDevice) {
+        let dram = DramDevice::new(DramConfig::tiny());
+        let cfg = CtrlConfig {
+            rfm_policy: policy,
+            ..CtrlConfig::default()
+        };
+        let ctrl = MemoryController::new(cfg, &dram);
+        (ctrl, dram)
+    }
+
+    fn read_req(id: u64, bank: BankId, row: u32, col: u32, now: Cycle) -> MemRequest {
+        MemRequest {
+            id,
+            kind: ReqKind::Read,
+            addr: DramAddr::new(bank, row, col),
+            core: 0,
+            arrived: now,
+        }
+    }
+
+    const B0: BankId = BankId::new(0, 0, 0);
+
+    #[test]
+    fn read_completes_end_to_end() {
+        let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+        assert!(ctrl.push_request(read_req(1, B0, 10, 3, 0)));
+        let mut done = Vec::new();
+        for now in 0..500 {
+            ctrl.tick(&mut dram, now);
+            ctrl.drain_completions(now, &mut done);
+            if !done.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, 1);
+        assert_eq!(ctrl.stats().reads_served, 1);
+        assert_eq!(ctrl.stats().row_misses, 1);
+        assert_eq!(dram.stats().acts, 1);
+        assert_eq!(dram.stats().reads, 1);
+    }
+
+    #[test]
+    fn second_read_same_row_is_a_hit() {
+        let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+        ctrl.push_request(read_req(1, B0, 10, 3, 0));
+        ctrl.push_request(read_req(2, B0, 10, 7, 0));
+        let mut done = Vec::new();
+        for now in 0..1000 {
+            ctrl.tick(&mut dram, now);
+            ctrl.drain_completions(now, &mut done);
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert_eq!(ctrl.stats().row_hits, 1);
+        assert_eq!(ctrl.stats().row_misses, 1);
+        assert_eq!(dram.stats().acts, 1, "one activation serves both");
+    }
+
+    #[test]
+    fn conflicting_rows_cause_precharge() {
+        let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+        ctrl.push_request(read_req(1, B0, 10, 0, 0));
+        ctrl.push_request(read_req(2, B0, 20, 0, 0));
+        let mut done = Vec::new();
+        for now in 0..2000 {
+            ctrl.tick(&mut dram, now);
+            ctrl.drain_completions(now, &mut done);
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert_eq!(ctrl.stats().row_conflicts, 1);
+        assert_eq!(dram.stats().acts, 2);
+        assert!(dram.stats().pres >= 1);
+    }
+
+    #[test]
+    fn refresh_is_issued_periodically() {
+        let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+        let refi = dram.timings().refi;
+        for now in 0..(refi * 3 + 100) {
+            ctrl.tick(&mut dram, now);
+        }
+        assert!(dram.stats().refs >= 2, "got {}", dram.stats().refs);
+    }
+
+    #[test]
+    fn writes_drain_in_batches() {
+        let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+        for i in 0..50u64 {
+            let row = (i / 8) as u32;
+            let bank = BankId::new(0, (i % 2) as u8, ((i / 2) % 2) as u8);
+            assert!(ctrl.push_request(MemRequest {
+                id: i,
+                kind: ReqKind::Write,
+                addr: DramAddr::new(bank, row, (i % 8) as u32),
+                core: 0,
+                arrived: 0,
+            }));
+        }
+        for now in 0..20_000 {
+            ctrl.tick(&mut dram, now);
+            if ctrl.pending_requests() == 0 {
+                break;
+            }
+        }
+        assert_eq!(ctrl.pending_requests(), 0);
+        assert_eq!(ctrl.stats().writes_served, 50);
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let (mut ctrl, dram) = setup(RfmPolicy::None);
+        let _ = dram;
+        for i in 0..64u64 {
+            assert!(ctrl.push_request(read_req(i, B0, i as u32, 0, 0)));
+        }
+        assert!(!ctrl.can_accept(ReqKind::Read));
+        assert!(!ctrl.push_request(read_req(99, B0, 0, 0, 0)));
+        assert!(ctrl.can_accept(ReqKind::Write));
+    }
+}

@@ -1,0 +1,33 @@
+//! DDR5 memory controller.
+//!
+//! Implements the controller half of the paper's evaluation platform
+//! (Table 2): 64-entry read/write queues, FR-FCFS scheduling with a cap on
+//! column-over-row reordering (Cap = 4), MOP address mapping, periodic
+//! refresh with bounded postponement, and — central to the paper — the
+//! refresh-management machinery:
+//!
+//! * **PRFM** (early DDR5): per-bank rolling activation counters that force
+//!   an RFM every `RFMth` activations.
+//! * **PRAC back-off** (DDR5 as of April 2024): on `alert_n`, a window of
+//!   normal traffic (`tABOACT`), a recovery period of `N_Ref` back-to-back
+//!   RFMs, and a delay period of `N_Delay` activations.
+//! * **Chronus back-off** (§7.2): RFMs are issued while the device keeps
+//!   `alert_n` asserted — as many as needed, with no delay period.
+//!
+//! Controller-side mitigation mechanisms (Graphene, Hydra, PARA, ABACuS —
+//! implemented in `chronus-core`) plug in through [`CtrlMitigation`] and
+//! inject victim-row refreshes and auxiliary DRAM traffic.
+
+pub mod controller;
+pub mod mapping;
+pub mod mitigation;
+pub mod refresh;
+pub mod request;
+pub mod rfm;
+pub mod scheduler;
+
+pub use controller::{CtrlConfig, CtrlStats, MemoryController};
+pub use mapping::AddressMapping;
+pub use mitigation::{CtrlMitigation, CtrlMitigationStats, MitigationAction, NoCtrlMitigation};
+pub use request::{Completion, MemRequest, ReqKind};
+pub use rfm::RfmPolicy;

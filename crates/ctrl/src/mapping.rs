@@ -1,0 +1,244 @@
+//! Physical-address → DRAM-coordinate mappings.
+//!
+//! Three schemes from the paper:
+//!
+//! * [`AddressMapping::Mop`] — Minimalist Open Page (the paper's default,
+//!   Table 2): four consecutive cache lines stay in one row, then the
+//!   stream interleaves across banks, bank groups and ranks.
+//! * [`AddressMapping::RoBaRaCoCh`] — row : group : bank : rank : column,
+//!   the classical row-major mapping (used by the paper's main evaluation
+//!   of Hydra and co.).
+//! * [`AddressMapping::AbacusMop`] — MOP with XOR bank-index hashing,
+//!   approximating the ABACuS paper's mapping used in Appendix C.
+
+use chronus_dram::{BankId, DramAddr, Geometry};
+use serde::{Deserialize, Serialize};
+
+/// Address-mapping scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// Minimalist Open Page [Kaseridis+, MICRO'11]; MOP width 4.
+    Mop,
+    /// Row–Group–Bank–Rank–Column.
+    RoBaRaCoCh,
+    /// MOP with XOR bank hashing (Appendix C).
+    AbacusMop,
+}
+
+impl AddressMapping {
+    /// Decodes a physical byte address into DRAM coordinates.
+    ///
+    /// Addresses beyond the channel capacity wrap (the simulator's traces
+    /// are generated within capacity; wrapping keeps arbitrary inputs
+    /// well-formed).
+    pub fn decode(&self, phys: u64, geo: &Geometry) -> DramAddr {
+        let line = (phys / geo.line_bytes as u64)
+            % (geo.capacity_bytes() / geo.line_bytes as u64);
+        let mut x = line;
+        let mut take = |n: u32| -> u64 {
+            let v = x & ((1u64 << n) - 1);
+            x >>= n;
+            v
+        };
+        let col_bits = geo.cols.trailing_zeros();
+        let bank_bits = geo.banks_per_group.trailing_zeros();
+        let group_bits = geo.bankgroups.trailing_zeros();
+        let rank_bits = geo.ranks.trailing_zeros();
+        let row_bits = geo.rows.trailing_zeros();
+        match self {
+            AddressMapping::RoBaRaCoCh => {
+                let col = take(col_bits) as u32;
+                let rank = take(rank_bits) as u8;
+                let bank = take(bank_bits) as u8;
+                let group = take(group_bits) as u8;
+                let row = take(row_bits) as u32;
+                DramAddr::new(BankId::new(rank, group, bank), row, col)
+            }
+            AddressMapping::Mop => {
+                let mop = 2u32.min(col_bits); // 4-line chunks
+                let col_lo = take(mop) as u32;
+                let bank = take(bank_bits) as u8;
+                let group = take(group_bits) as u8;
+                let rank = take(rank_bits) as u8;
+                let col_hi = take(col_bits - mop) as u32;
+                let row = take(row_bits) as u32;
+                DramAddr::new(
+                    BankId::new(rank, group, bank),
+                    row,
+                    (col_hi << mop) | col_lo,
+                )
+            }
+            AddressMapping::AbacusMop => {
+                let mop = 2u32.min(col_bits);
+                let col_lo = take(mop) as u32;
+                let bank = take(bank_bits) as u8;
+                let group = take(group_bits) as u8;
+                let rank = take(rank_bits) as u8;
+                let col_hi = take(col_bits - mop) as u32;
+                let row = take(row_bits) as u32;
+                // XOR bank hashing: permute bank/group with low row bits so
+                // row-sequential streams spread across banks.
+                let bank = bank ^ ((row as u8) & (geo.banks_per_group as u8 - 1));
+                let group = group ^ (((row >> bank_bits) as u8) & (geo.bankgroups as u8 - 1));
+                DramAddr::new(
+                    BankId::new(rank, group, bank),
+                    row,
+                    (col_hi << mop) | col_lo,
+                )
+            }
+        }
+    }
+
+    /// Encodes DRAM coordinates back into a physical byte address
+    /// (inverse of [`AddressMapping::decode`] within channel capacity).
+    pub fn encode(&self, addr: &DramAddr, geo: &Geometry) -> u64 {
+        let col_bits = geo.cols.trailing_zeros();
+        let bank_bits = geo.banks_per_group.trailing_zeros();
+        let group_bits = geo.bankgroups.trailing_zeros();
+        let rank_bits = geo.ranks.trailing_zeros();
+        let mut line = 0u64;
+        let mut shift = 0u32;
+        let mut put = |v: u64, n: u32| {
+            line |= v << shift;
+            shift += n;
+        };
+        match self {
+            AddressMapping::RoBaRaCoCh => {
+                put(addr.col as u64, col_bits);
+                put(addr.bank.rank as u64, rank_bits);
+                put(addr.bank.bank as u64, bank_bits);
+                put(addr.bank.group as u64, group_bits);
+                put(addr.row as u64, geo.rows.trailing_zeros());
+            }
+            AddressMapping::Mop => {
+                let mop = 2u32.min(col_bits);
+                put((addr.col & ((1 << mop) - 1)) as u64, mop);
+                put(addr.bank.bank as u64, bank_bits);
+                put(addr.bank.group as u64, group_bits);
+                put(addr.bank.rank as u64, rank_bits);
+                put((addr.col >> mop) as u64, col_bits - mop);
+                put(addr.row as u64, geo.rows.trailing_zeros());
+            }
+            AddressMapping::AbacusMop => {
+                let mop = 2u32.min(col_bits);
+                // Undo the XOR hash before packing.
+                let bank = addr.bank.bank ^ ((addr.row as u8) & (geo.banks_per_group as u8 - 1));
+                let group = addr.bank.group
+                    ^ (((addr.row >> bank_bits) as u8) & (geo.bankgroups as u8 - 1));
+                put((addr.col & ((1 << mop) - 1)) as u64, mop);
+                put(bank as u64, bank_bits);
+                put(group as u64, group_bits);
+                put(addr.bank.rank as u64, rank_bits);
+                put((addr.col >> mop) as u64, col_bits - mop);
+                put(addr.row as u64, geo.rows.trailing_zeros());
+            }
+        }
+        line * geo.line_bytes as u64
+    }
+}
+
+impl std::fmt::Display for AddressMapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AddressMapping::Mop => "MOP",
+            AddressMapping::RoBaRaCoCh => "RoBaRaCoCh",
+            AddressMapping::AbacusMop => "ABACuS-MOP",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [AddressMapping; 3] = [
+        AddressMapping::Mop,
+        AddressMapping::RoBaRaCoCh,
+        AddressMapping::AbacusMop,
+    ];
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let geo = Geometry::ddr5();
+        for m in ALL {
+            for phys in [
+                0u64,
+                64,
+                4096,
+                1 << 20,
+                (1 << 30) + 192,
+                geo.capacity_bytes() - 64,
+            ] {
+                let a = m.decode(phys, &geo);
+                assert_eq!(m.encode(&a, &geo), phys & !63, "mapping {m}, phys {phys:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn mop_keeps_four_lines_in_one_row() {
+        let geo = Geometry::ddr5();
+        let m = AddressMapping::Mop;
+        let base = m.decode(0, &geo);
+        for i in 1..4u64 {
+            let a = m.decode(i * 64, &geo);
+            assert!(a.same_row(&base), "line {i} left the row");
+        }
+        // The fifth line moves to another bank.
+        let a = m.decode(4 * 64, &geo);
+        assert_ne!(a.bank, base.bank);
+    }
+
+    #[test]
+    fn robaracoch_keeps_whole_row_contiguous() {
+        let geo = Geometry::ddr5();
+        let m = AddressMapping::RoBaRaCoCh;
+        let base = m.decode(0, &geo);
+        for i in 1..geo.cols as u64 {
+            let a = m.decode(i * 64, &geo);
+            assert!(a.same_row(&base));
+        }
+        let next = m.decode(geo.cols as u64 * 64, &geo);
+        assert!(!next.same_row(&base));
+    }
+
+    #[test]
+    fn abacus_hash_spreads_sequential_rows() {
+        let geo = Geometry::ddr5();
+        let m = AddressMapping::AbacusMop;
+        // Same column/bank bits, consecutive rows → different banks.
+        let row_stride = {
+            // One full row of one bank under MOP ordering: cols * banks *
+            // groups * ranks lines.
+            64u64 * geo.cols as u64 * geo.banks_per_group as u64
+                * geo.bankgroups as u64
+                * geo.ranks as u64
+        };
+        let a0 = m.decode(0, &geo);
+        let a1 = m.decode(row_stride, &geo);
+        assert_eq!(a1.row, a0.row + 1);
+        assert_ne!(a1.bank.bank, a0.bank.bank);
+    }
+
+    #[test]
+    fn decode_covers_all_banks() {
+        let geo = Geometry::ddr5();
+        for m in ALL {
+            let mut seen = std::collections::HashSet::new();
+            // RoBaRaCoCh needs a full column × rank × bank × group span
+            // (128 × 2 × 4 × 8 = 8192 lines) before every bank appears.
+            for i in 0..16_384u64 {
+                seen.insert(m.decode(i * 64, &geo).bank);
+            }
+            assert_eq!(seen.len(), geo.total_banks(), "mapping {m}");
+        }
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let geo = Geometry::ddr5();
+        let m = AddressMapping::Mop;
+        assert_eq!(m.decode(geo.capacity_bytes(), &geo), m.decode(0, &geo));
+    }
+}

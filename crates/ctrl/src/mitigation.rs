@@ -1,0 +1,100 @@
+//! Controller-side mitigation extension point.
+//!
+//! Graphene, Hydra, PARA and ABACuS (implemented in `chronus-core`) observe
+//! every row activation the controller performs and respond with actions:
+//! victim-row refreshes (modelled as `VRR` pseudo-commands with strict
+//! priority) and, for Hydra, auxiliary DRAM reads/writes that model its
+//! in-DRAM counter-table traffic.
+
+use chronus_dram::{BankId, Cycle, DramAddr, RowId};
+use serde::{Deserialize, Serialize};
+
+/// An action a controller-side mechanism requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MitigationAction {
+    /// Preventively refresh all victims of `aggressor` (the controller
+    /// expands this to one `VRR` per victim under the device's blast
+    /// radius). Used by the deterministic mechanisms (Graphene, Hydra,
+    /// ABACuS).
+    RefreshVictims {
+        /// Bank holding the aggressor.
+        bank: BankId,
+        /// The aggressor whose neighbourhood is refreshed.
+        aggressor: RowId,
+    },
+    /// Preventively refresh one victim row (occupies the bank for `tRC`).
+    /// Used by PARA, which samples a single neighbour per trigger.
+    RefreshRow {
+        /// Bank holding the victim.
+        bank: BankId,
+        /// Victim row.
+        row: RowId,
+    },
+    /// Inject a cache-line read (Hydra RCT fill).
+    AuxRead {
+        /// Target of the auxiliary access.
+        addr: DramAddr,
+    },
+    /// Inject a cache-line write (Hydra RCT writeback).
+    AuxWrite {
+        /// Target of the auxiliary access.
+        addr: DramAddr,
+    },
+}
+
+/// Counters reported by controller-side mechanisms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlMitigationStats {
+    /// Preventive victim-row refreshes requested.
+    pub victim_refreshes: u64,
+    /// Auxiliary DRAM reads injected.
+    pub aux_reads: u64,
+    /// Auxiliary DRAM writes injected.
+    pub aux_writes: u64,
+    /// Mechanism-specific trigger events (threshold crossings, PARA coin
+    /// flips that hit, …).
+    pub triggers: u64,
+}
+
+/// Controller-side read-disturbance mitigation hook.
+pub trait CtrlMitigation: Send {
+    /// Called for every row activation the controller issues on behalf of a
+    /// demand request. The mechanism appends any actions to `actions`.
+    fn on_activate(&mut self, addr: DramAddr, now: Cycle, actions: &mut Vec<MitigationAction>);
+
+    /// Evaluation counters.
+    fn stats(&self) -> CtrlMitigationStats {
+        CtrlMitigationStats::default()
+    }
+
+    /// Short mechanism name for reports.
+    fn kind_name(&self) -> &'static str;
+}
+
+/// No controller-side mechanism (baseline, or when the mechanism lives on
+/// the DRAM die).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCtrlMitigation;
+
+impl CtrlMitigation for NoCtrlMitigation {
+    fn on_activate(&mut self, _addr: DramAddr, _now: Cycle, _actions: &mut Vec<MitigationAction>) {}
+
+    fn kind_name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_dram::BankId;
+
+    #[test]
+    fn no_ctrl_mitigation_is_inert() {
+        let mut m = NoCtrlMitigation;
+        let mut actions = Vec::new();
+        m.on_activate(DramAddr::new(BankId::new(0, 0, 0), 1, 0), 5, &mut actions);
+        assert!(actions.is_empty());
+        assert_eq!(m.stats(), CtrlMitigationStats::default());
+    }
+}

@@ -1,0 +1,106 @@
+//! Periodic-refresh scheduling with bounded postponement.
+//!
+//! DDR5 controllers may postpone up to four REF commands when demand
+//! traffic is pending (§5 of the paper discusses why this weakens
+//! borrowed-refresh-style defences). The engine tracks, per rank, how many
+//! refreshes are owed and whether the debt has become urgent.
+
+use chronus_dram::Cycle;
+
+/// Maximum REF commands that may be postponed (DDR5).
+pub const MAX_POSTPONED: u64 = 4;
+
+/// Per-rank refresh debt tracking.
+#[derive(Debug, Clone)]
+pub struct RefreshEngine {
+    refi: Cycle,
+    /// REFs that should have been issued by now.
+    due: u64,
+    /// REFs actually issued.
+    done: u64,
+    /// Next cycle at which a new REF becomes due.
+    next_due: Cycle,
+}
+
+impl RefreshEngine {
+    /// An engine issuing a REF every `refi` cycles.
+    pub fn new(refi: Cycle) -> Self {
+        Self {
+            refi,
+            due: 0,
+            done: 0,
+            next_due: refi,
+        }
+    }
+
+    /// Advances time; accumulates newly due refreshes.
+    pub fn tick(&mut self, now: Cycle) {
+        while now >= self.next_due {
+            self.due += 1;
+            self.next_due += self.refi;
+        }
+    }
+
+    /// A refresh is owed (may still be postponed if not urgent).
+    pub fn pending(&self) -> bool {
+        self.due > self.done
+    }
+
+    /// The debt reached the postponement limit: a REF must be issued before
+    /// any other command to this rank.
+    pub fn urgent(&self) -> bool {
+        self.due - self.done >= MAX_POSTPONED
+    }
+
+    /// Records an issued REFab.
+    pub fn refreshed(&mut self) {
+        self.done += 1;
+        debug_assert!(self.done <= self.due + 1);
+    }
+
+    /// REFs issued so far.
+    pub fn completed(&self) -> u64 {
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_becomes_due_every_refi() {
+        let mut e = RefreshEngine::new(100);
+        e.tick(99);
+        assert!(!e.pending());
+        e.tick(100);
+        assert!(e.pending());
+        e.refreshed();
+        assert!(!e.pending());
+    }
+
+    #[test]
+    fn urgency_after_four_postponements() {
+        let mut e = RefreshEngine::new(100);
+        e.tick(399);
+        assert!(e.pending());
+        assert!(!e.urgent());
+        e.tick(400);
+        assert!(e.urgent());
+        e.refreshed();
+        assert!(!e.urgent());
+        assert!(e.pending());
+    }
+
+    #[test]
+    fn debt_accumulates() {
+        let mut e = RefreshEngine::new(10);
+        e.tick(55);
+        assert!(e.pending());
+        for _ in 0..5 {
+            e.refreshed();
+        }
+        assert!(!e.pending());
+        assert_eq!(e.completed(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Memory requests and completions.
+
+use chronus_dram::{Cycle, DramAddr};
+use serde::{Deserialize, Serialize};
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// Cache-line read (LLC miss fill or Hydra RCT read).
+    Read,
+    /// Cache-line write (LLC writeback or Hydra RCT writeback).
+    Write,
+}
+
+/// One cache-line request as seen by the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemRequest {
+    /// Caller-assigned identifier, echoed in the [`Completion`].
+    pub id: u64,
+    /// Read or write.
+    pub kind: ReqKind,
+    /// Decoded DRAM coordinates.
+    pub addr: DramAddr,
+    /// Issuing core (for per-core statistics; `u8::MAX` = controller
+    /// internal, e.g. Hydra counter traffic).
+    pub core: u8,
+    /// Cycle the request entered the controller queue.
+    pub arrived: Cycle,
+}
+
+/// Identifier used for controller-internal requests (no completion is
+/// delivered to the frontend).
+pub const INTERNAL_CORE: u8 = u8::MAX;
+
+/// A finished read: data available at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// The request id.
+    pub id: u64,
+    /// Cycle (memory clock) at which data is on the bus.
+    pub at: Cycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_dram::BankId;
+
+    #[test]
+    fn request_is_plain_data() {
+        let r = MemRequest {
+            id: 7,
+            kind: ReqKind::Read,
+            addr: DramAddr::new(BankId::new(0, 1, 2), 33, 4),
+            core: 1,
+            arrived: 99,
+        };
+        let r2 = r;
+        assert_eq!(r, r2);
+        assert_eq!(r.addr.bank.group, 1);
+    }
+}

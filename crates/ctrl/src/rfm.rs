@@ -1,0 +1,245 @@
+//! RFM issuing policies and the per-rank back-off state machine.
+
+use chronus_dram::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// How the controller reacts to `alert_n` / activation counts (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RfmPolicy {
+    /// Ignore back-offs entirely (baseline and MC-side mechanisms).
+    None,
+    /// PRAC back-off: serve `n_ref` RFMs per back-off after a `tABOACT`
+    /// window, then require `n_delay` activations before honouring a new
+    /// back-off.
+    PracBackOff {
+        /// RFM commands per recovery period.
+        n_ref: u32,
+        /// Activations required before a new back-off is honoured.
+        n_delay: u32,
+    },
+    /// Chronus back-off (§7.2): keep issuing RFMs while the device holds
+    /// `alert_n` asserted; no delay period.
+    ChronusBackOff,
+}
+
+impl RfmPolicy {
+    /// True if this policy reacts to the alert pin.
+    pub fn honours_alert(&self) -> bool {
+        !matches!(self, RfmPolicy::None)
+    }
+}
+
+/// Back-off progress of one rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackOffState {
+    /// No back-off in progress.
+    Normal,
+    /// Alert received; normal traffic continues until `deadline`.
+    Window {
+        /// Cycle at which recovery must begin.
+        deadline: Cycle,
+    },
+    /// Issuing recovery RFMs; `remaining` left (PRAC) or until the device
+    /// de-asserts (Chronus, where `remaining` is ignored).
+    Recovery {
+        /// RFMs still owed in this recovery period.
+        remaining: u32,
+    },
+    /// PRAC delay period: `acts_left` activations before new back-offs are
+    /// honoured.
+    Delay {
+        /// Activations still to serve.
+        acts_left: u32,
+    },
+}
+
+/// Per-rank back-off bookkeeping driven by the controller.
+#[derive(Debug, Clone)]
+pub struct BackOffFsm {
+    policy: RfmPolicy,
+    /// Current state.
+    pub state: BackOffState,
+    /// Total back-offs honoured (for reports).
+    pub back_offs: u64,
+    /// Total recovery RFMs issued.
+    pub recovery_rfms: u64,
+}
+
+impl BackOffFsm {
+    /// A fresh FSM for `policy`.
+    pub fn new(policy: RfmPolicy) -> Self {
+        Self {
+            policy,
+            state: BackOffState::Normal,
+            back_offs: 0,
+            recovery_rfms: 0,
+        }
+    }
+
+    /// The policy this FSM enforces.
+    pub fn policy(&self) -> RfmPolicy {
+        self.policy
+    }
+
+    /// Reacts to a visible alert. Returns `true` if the alert was honoured
+    /// (caller should clear the device latch).
+    pub fn on_alert(&mut self, now: Cycle, taboact: Cycle) -> bool {
+        if !self.policy.honours_alert() {
+            return false;
+        }
+        match self.state {
+            BackOffState::Normal => {
+                self.state = BackOffState::Window {
+                    deadline: now + taboact,
+                };
+                self.back_offs += 1;
+                true
+            }
+            // During window/recovery/delay new assertions are masked
+            // (PRAC's delay period; Chronus handles continuation through
+            // `alert_still_needed`).
+            _ => false,
+        }
+    }
+
+    /// True if the rank is in its recovery period (only PREab/RFMab may be
+    /// issued to it).
+    pub fn in_recovery(&self) -> bool {
+        matches!(self.state, BackOffState::Recovery { .. })
+    }
+
+    /// Advances `Window → Recovery` when the deadline passes.
+    pub fn tick(&mut self, now: Cycle) {
+        if let BackOffState::Window { deadline } = self.state {
+            if now >= deadline {
+                let remaining = match self.policy {
+                    RfmPolicy::PracBackOff { n_ref, .. } => n_ref,
+                    RfmPolicy::ChronusBackOff => 1,
+                    RfmPolicy::None => 0,
+                };
+                self.state = BackOffState::Recovery { remaining };
+            }
+        }
+    }
+
+    /// Records a recovery RFM. `still_needed` is the device's report of
+    /// whether rows above the threshold remain (Chronus). Returns `true`
+    /// when the recovery period has finished.
+    pub fn on_recovery_rfm(&mut self, still_needed: bool) -> bool {
+        self.recovery_rfms += 1;
+        let BackOffState::Recovery { remaining } = self.state else {
+            debug_assert!(false, "recovery RFM outside recovery");
+            return true;
+        };
+        match self.policy {
+            RfmPolicy::PracBackOff { n_delay, .. } => {
+                if remaining > 1 {
+                    self.state = BackOffState::Recovery {
+                        remaining: remaining - 1,
+                    };
+                    false
+                } else {
+                    self.state = if n_delay > 0 {
+                        BackOffState::Delay {
+                            acts_left: n_delay,
+                        }
+                    } else {
+                        BackOffState::Normal
+                    };
+                    true
+                }
+            }
+            RfmPolicy::ChronusBackOff => {
+                if still_needed {
+                    self.state = BackOffState::Recovery { remaining: 1 };
+                    false
+                } else {
+                    self.state = BackOffState::Normal;
+                    true
+                }
+            }
+            RfmPolicy::None => true,
+        }
+    }
+
+    /// Records a normal activation to the rank (advances the delay period).
+    /// Returns `true` if the delay period just ended (caller should clear
+    /// any stale alert latch).
+    pub fn on_activate(&mut self) -> bool {
+        if let BackOffState::Delay { acts_left } = self.state {
+            if acts_left <= 1 {
+                self.state = BackOffState::Normal;
+                return true;
+            }
+            self.state = BackOffState::Delay {
+                acts_left: acts_left - 1,
+            };
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prac_backoff_full_cycle() {
+        let mut fsm = BackOffFsm::new(RfmPolicy::PracBackOff {
+            n_ref: 2,
+            n_delay: 2,
+        });
+        assert!(fsm.on_alert(100, 288));
+        assert_eq!(fsm.state, BackOffState::Window { deadline: 388 });
+        // Further alerts are masked.
+        assert!(!fsm.on_alert(150, 288));
+        fsm.tick(388);
+        assert!(fsm.in_recovery());
+        assert!(!fsm.on_recovery_rfm(false));
+        assert!(fsm.on_recovery_rfm(false));
+        assert_eq!(fsm.state, BackOffState::Delay { acts_left: 2 });
+        assert!(!fsm.on_alert(500, 288)); // masked during delay
+        assert!(!fsm.on_activate());
+        assert!(fsm.on_activate()); // delay over
+        assert_eq!(fsm.state, BackOffState::Normal);
+        assert!(fsm.on_alert(600, 288));
+        assert_eq!(fsm.back_offs, 2);
+    }
+
+    #[test]
+    fn chronus_backoff_continues_until_deasserted() {
+        let mut fsm = BackOffFsm::new(RfmPolicy::ChronusBackOff);
+        assert!(fsm.on_alert(0, 288));
+        fsm.tick(288);
+        assert!(fsm.in_recovery());
+        // Device still has hot rows: keep going.
+        assert!(!fsm.on_recovery_rfm(true));
+        assert!(fsm.in_recovery());
+        assert!(!fsm.on_recovery_rfm(true));
+        assert!(fsm.on_recovery_rfm(false));
+        assert_eq!(fsm.state, BackOffState::Normal);
+        assert_eq!(fsm.recovery_rfms, 3);
+        // No delay period: an immediate new alert is honoured.
+        assert!(fsm.on_alert(2000, 288));
+    }
+
+    #[test]
+    fn none_policy_ignores_alerts() {
+        let mut fsm = BackOffFsm::new(RfmPolicy::None);
+        assert!(!fsm.on_alert(0, 288));
+        assert_eq!(fsm.state, BackOffState::Normal);
+    }
+
+    #[test]
+    fn window_does_not_advance_before_deadline() {
+        let mut fsm = BackOffFsm::new(RfmPolicy::PracBackOff {
+            n_ref: 1,
+            n_delay: 1,
+        });
+        fsm.on_alert(0, 288);
+        fsm.tick(287);
+        assert!(!fsm.in_recovery());
+        fsm.tick(288);
+        assert!(fsm.in_recovery());
+    }
+}

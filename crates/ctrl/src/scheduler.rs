@@ -1,0 +1,221 @@
+//! FR-FCFS scheduling with a cap on column-over-row reordering.
+//!
+//! The paper's controller uses FR-FCFS+Cap with a cap of four (Table 2,
+//! [Mutlu & Moscibroda, MICRO'07]): row-buffer hits may bypass older
+//! row-miss requests at most `cap` consecutive times per bank, bounding the
+//! starvation FR-FCFS inflicts on conflict-heavy threads.
+
+use chronus_dram::{Command, Cycle, DramDevice};
+
+use crate::request::{MemRequest, ReqKind};
+
+/// A queue entry plus scheduling bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct Entry {
+    /// The request.
+    pub req: MemRequest,
+    /// This request's service required a precharge (row conflict).
+    pub caused_pre: bool,
+    /// This request's service required an activation (row miss).
+    pub caused_act: bool,
+}
+
+impl Entry {
+    /// Wraps a fresh request.
+    pub fn new(req: MemRequest) -> Self {
+        Self {
+            req,
+            caused_pre: false,
+            caused_act: false,
+        }
+    }
+
+    /// The CAS command that would serve this request.
+    pub fn cas_command(&self) -> Command {
+        match self.req.kind {
+            ReqKind::Read => Command::Rd {
+                bank: self.req.addr.bank,
+                col: self.req.addr.col,
+            },
+            ReqKind::Write => Command::Wr {
+                bank: self.req.addr.bank,
+                col: self.req.addr.col,
+            },
+        }
+    }
+}
+
+/// What the scheduler decided to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Serve the request's column access (index into the queue). `bypass`
+    /// is true when an older non-hit request to the same bank was
+    /// reordered past (counts toward the cap).
+    Cas(usize, bool),
+    /// Open the request's row.
+    Act(usize),
+    /// Close the conflicting row for this request.
+    Pre(usize),
+}
+
+/// Picks the next command for `queue` under FR-FCFS+Cap.
+///
+/// `hit_streak` holds, per flat bank index, the number of consecutive
+/// row-hit bypasses since the last non-hit service; `rank_usable` filters
+/// out ranks in recovery. Queue order is age order (oldest first).
+///
+/// A row hit younger than a non-hit request to the same bank may be
+/// served only while the bank's bypass streak is below `cap` — in *both*
+/// passes, so timing-blocked precharges cannot be starved by an endless
+/// hit stream (the FR-FCFS+Cap guarantee of [Mutlu & Moscibroda,
+/// MICRO'07]).
+pub fn pick(
+    queue: &[Entry],
+    dram: &DramDevice,
+    now: Cycle,
+    cap: u32,
+    hit_streak: &[u32],
+    rank_usable: &dyn Fn(usize) -> bool,
+) -> Option<Decision> {
+    let geo = *dram.geometry();
+    debug_assert!(geo.total_banks() <= 64);
+    // Pass 1: oldest issuable row-hit, honouring the cap.
+    let mut non_hit_seen = 0u64; // banks with an older non-hit request
+    for (i, e) in queue.iter().enumerate() {
+        let bank = e.req.addr.bank;
+        if !rank_usable(bank.rank as usize) {
+            continue;
+        }
+        let flat = bank.flat(&geo);
+        let is_hit = dram.open_row(bank) == Some(e.req.addr.row);
+        if !is_hit {
+            non_hit_seen |= 1 << flat;
+            continue;
+        }
+        let bypass = non_hit_seen & (1 << flat) != 0;
+        if bypass && hit_streak[flat] >= cap {
+            continue; // cap reached and an older miss waits
+        }
+        if dram.can_issue(&e.cas_command(), now) {
+            return Some(Decision::Cas(i, bypass));
+        }
+    }
+    // Pass 2: oldest request that can make progress (FCFS), with the same
+    // cap discipline on hits.
+    let mut non_hit_seen = 0u64;
+    for (i, e) in queue.iter().enumerate() {
+        let bank = e.req.addr.bank;
+        if !rank_usable(bank.rank as usize) {
+            continue;
+        }
+        let flat = bank.flat(&geo);
+        match dram.open_row(bank) {
+            Some(row) if row == e.req.addr.row => {
+                let bypass = non_hit_seen & (1 << flat) != 0;
+                if bypass && hit_streak[flat] >= cap {
+                    continue;
+                }
+                let cmd = e.cas_command();
+                if dram.can_issue(&cmd, now) {
+                    return Some(Decision::Cas(i, bypass));
+                }
+            }
+            Some(_) => {
+                non_hit_seen |= 1 << flat;
+                let cmd = Command::Pre { bank };
+                if dram.can_issue(&cmd, now) {
+                    return Some(Decision::Pre(i));
+                }
+            }
+            None => {
+                non_hit_seen |= 1 << flat;
+                let cmd = Command::Act {
+                    bank,
+                    row: e.req.addr.row,
+                };
+                if dram.can_issue(&cmd, now) {
+                    return Some(Decision::Act(i));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_dram::{BankId, DramAddr, DramConfig, DramDevice};
+
+    fn req(id: u64, bank: BankId, row: u32, col: u32) -> Entry {
+        Entry::new(MemRequest {
+            id,
+            kind: ReqKind::Read,
+            addr: DramAddr::new(bank, row, col),
+            core: 0,
+            arrived: id,
+        })
+    }
+
+    fn dev() -> DramDevice {
+        DramDevice::new(DramConfig::tiny())
+    }
+
+    const B0: BankId = BankId::new(0, 0, 0);
+
+    #[test]
+    fn prefers_row_hit_over_older_miss_until_cap() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 5 }, 0);
+        let now = t.rcd;
+        // Older request conflicts (row 9), younger is a hit (row 5).
+        let queue = vec![req(0, B0, 9, 0), req(1, B0, 5, 0)];
+        let streak = vec![0u32; d.geometry().total_banks()];
+        let pick1 = pick(&queue, &d, now, 4, &streak, &|_| true);
+        assert_eq!(pick1, Some(Decision::Cas(1, true)));
+        // With the cap exhausted the older conflict wins (precharge).
+        let mut capped = streak.clone();
+        capped[B0.flat(d.geometry())] = 4;
+        let now = t.ras.max(now);
+        let pick2 = pick(&queue, &d, now, 4, &capped, &|_| true);
+        assert_eq!(pick2, Some(Decision::Pre(0)));
+    }
+
+    #[test]
+    fn idle_bank_gets_activate_for_oldest() {
+        let d = dev();
+        let queue = vec![req(0, B0, 9, 0), req(1, B0, 5, 0)];
+        let streak = vec![0u32; d.geometry().total_banks()];
+        assert_eq!(
+            pick(&queue, &d, 0, 4, &streak, &|_| true),
+            Some(Decision::Act(0))
+        );
+    }
+
+    #[test]
+    fn recovery_rank_is_skipped() {
+        let d = dev();
+        let queue = vec![req(0, B0, 9, 0)];
+        let streak = vec![0u32; d.geometry().total_banks()];
+        assert_eq!(pick(&queue, &d, 0, 4, &streak, &|_| false), None);
+    }
+
+    #[test]
+    fn blocked_timing_yields_none() {
+        let mut d = dev();
+        d.issue(&Command::Act { bank: B0, row: 5 }, 0);
+        // Row 5 open, but tRCD not yet elapsed and row 9 cannot PRE before
+        // tRAS: nothing issuable at cycle 1.
+        let queue = vec![req(0, B0, 9, 0), req(1, B0, 5, 0)];
+        let streak = vec![0u32; d.geometry().total_banks()];
+        assert_eq!(pick(&queue, &d, 1, 4, &streak, &|_| true), None);
+    }
+
+    #[test]
+    fn empty_queue_yields_none() {
+        let d = dev();
+        let streak = vec![0u32; d.geometry().total_banks()];
+        assert_eq!(pick(&[], &d, 0, 4, &streak, &|_| true), None);
+    }
+}

@@ -1,0 +1,195 @@
+//! DRAM command set.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{BankId, RowId};
+
+/// Commands the memory controller can issue to the device.
+///
+/// `Vrr` (victim-row refresh) is the pseudo-command used to model
+/// controller-side preventive refreshes (Graphene, Hydra, PARA, ABACuS):
+/// internally it is an activate + precharge of the victim row and occupies
+/// the bank for `tRC`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Command {
+    /// Activate `row` in `bank`.
+    Act {
+        /// Target bank.
+        bank: BankId,
+        /// Row to open.
+        row: RowId,
+    },
+    /// Precharge the open row of `bank`.
+    Pre {
+        /// Target bank.
+        bank: BankId,
+    },
+    /// Precharge all banks of `rank`.
+    PreAll {
+        /// Target rank.
+        rank: usize,
+    },
+    /// Read a column burst from the open row.
+    Rd {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache line) index.
+        col: u32,
+    },
+    /// Read with auto-precharge.
+    RdA {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache line) index.
+        col: u32,
+    },
+    /// Write a column burst into the open row.
+    Wr {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache line) index.
+        col: u32,
+    },
+    /// Write with auto-precharge.
+    WrA {
+        /// Target bank.
+        bank: BankId,
+        /// Column (cache line) index.
+        col: u32,
+    },
+    /// All-bank periodic refresh of `rank` (REFab).
+    RefAll {
+        /// Target rank.
+        rank: usize,
+    },
+    /// All-bank refresh-management command (RFMab): gives the device `tRFM`
+    /// to preventively refresh victims it selects (§3).
+    RfmAll {
+        /// Target rank.
+        rank: usize,
+    },
+    /// Controller-side victim-row refresh of one row (takes `tRC`).
+    Vrr {
+        /// Target bank.
+        bank: BankId,
+        /// Victim row to refresh.
+        row: RowId,
+    },
+}
+
+impl Command {
+    /// The bank this command targets, if it is bank-scoped.
+    pub fn bank(&self) -> Option<BankId> {
+        match *self {
+            Command::Act { bank, .. }
+            | Command::Pre { bank }
+            | Command::Rd { bank, .. }
+            | Command::RdA { bank, .. }
+            | Command::Wr { bank, .. }
+            | Command::WrA { bank, .. }
+            | Command::Vrr { bank, .. } => Some(bank),
+            Command::PreAll { .. } | Command::RefAll { .. } | Command::RfmAll { .. } => None,
+        }
+    }
+
+    /// The rank this command targets.
+    pub fn rank(&self) -> usize {
+        match *self {
+            Command::PreAll { rank } | Command::RefAll { rank } | Command::RfmAll { rank } => rank,
+            _ => self.bank().expect("bank-scoped command").rank as usize,
+        }
+    }
+
+    /// True for commands that transfer data on the bus.
+    pub fn is_cas(&self) -> bool {
+        matches!(
+            self,
+            Command::Rd { .. } | Command::RdA { .. } | Command::Wr { .. } | Command::WrA { .. }
+        )
+    }
+
+    /// True for reads (with or without auto-precharge).
+    pub fn is_read(&self) -> bool {
+        matches!(self, Command::Rd { .. } | Command::RdA { .. })
+    }
+
+    /// True for writes (with or without auto-precharge).
+    pub fn is_write(&self) -> bool {
+        matches!(self, Command::Wr { .. } | Command::WrA { .. })
+    }
+
+    /// Short mnemonic, e.g. `"ACT"`.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Command::Act { .. } => "ACT",
+            Command::Pre { .. } => "PRE",
+            Command::PreAll { .. } => "PREab",
+            Command::Rd { .. } => "RD",
+            Command::RdA { .. } => "RDA",
+            Command::Wr { .. } => "WR",
+            Command::WrA { .. } => "WRA",
+            Command::RefAll { .. } => "REFab",
+            Command::RfmAll { .. } => "RFMab",
+            Command::Vrr { .. } => "VRR",
+        }
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Command::Act { bank, row } => write!(f, "ACT {bank} row={row}"),
+            Command::Pre { bank } => write!(f, "PRE {bank}"),
+            Command::PreAll { rank } => write!(f, "PREab rank={rank}"),
+            Command::Rd { bank, col } => write!(f, "RD {bank} col={col}"),
+            Command::RdA { bank, col } => write!(f, "RDA {bank} col={col}"),
+            Command::Wr { bank, col } => write!(f, "WR {bank} col={col}"),
+            Command::WrA { bank, col } => write!(f, "WRA {bank} col={col}"),
+            Command::RefAll { rank } => write!(f, "REFab rank={rank}"),
+            Command::RfmAll { rank } => write!(f, "RFMab rank={rank}"),
+            Command::Vrr { bank, row } => write!(f, "VRR {bank} row={row}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_scoped_commands_report_bank_and_rank() {
+        let b = BankId::new(1, 3, 2);
+        let cmd = Command::Act { bank: b, row: 7 };
+        assert_eq!(cmd.bank(), Some(b));
+        assert_eq!(cmd.rank(), 1);
+    }
+
+    #[test]
+    fn rank_scoped_commands_have_no_bank() {
+        let cmd = Command::RefAll { rank: 1 };
+        assert_eq!(cmd.bank(), None);
+        assert_eq!(cmd.rank(), 1);
+    }
+
+    #[test]
+    fn cas_classification() {
+        let b = BankId::new(0, 0, 0);
+        assert!(Command::Rd { bank: b, col: 0 }.is_cas());
+        assert!(Command::WrA { bank: b, col: 0 }.is_write());
+        assert!(!Command::Act { bank: b, row: 0 }.is_cas());
+        assert!(Command::RdA { bank: b, col: 0 }.is_read());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let b = BankId::new(0, 0, 0);
+        for cmd in [
+            Command::Act { bank: b, row: 1 },
+            Command::Pre { bank: b },
+            Command::RefAll { rank: 0 },
+        ] {
+            assert!(!format!("{cmd}").is_empty());
+            assert!(!cmd.mnemonic().is_empty());
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! The DRAM device: command legality checking and execution.
+//!
+//! The device owns the per-bank / per-rank / channel timing frontiers.
+//! [`DramDevice::can_issue`] tells the controller whether a command is legal
+//! *now*; [`DramDevice::issue`] executes it, updates every affected timing
+//! frontier, feeds the mitigation hooks and the disturbance oracle, and
+//! latches the `alert_n` back-off signal when the mechanism requests it.
+
+use crate::bank::{Bank, BankState};
+use crate::command::Command;
+use crate::geometry::{victims_of, BankId, Geometry, RowId};
+use crate::mitigation::{DramMitigation, MitigationStats, NoMitigation};
+use crate::oracle::DisturbOracle;
+use crate::rank::Rank;
+use crate::stats::DramStats;
+use crate::timing::{TimingMode, Timings, TimingsNs};
+use crate::Cycle;
+
+/// Device configuration.
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// Channel geometry.
+    pub geometry: Geometry,
+    /// Which Table 1 timing column is in effect.
+    pub mode: TimingMode,
+    /// Resolved timing parameters.
+    pub timings: Timings,
+    /// Read-disturbance blast radius (paper §5: 2).
+    pub blast_radius: u32,
+    /// If set, attach a [`DisturbOracle`] with this `N_RH`.
+    pub oracle_nrh: Option<u32>,
+    /// Panic on timing violations instead of silently refusing; used by
+    /// tests and debug runs.
+    pub strict: bool,
+}
+
+impl DramConfig {
+    /// Paper-default DDR5 module without PRAC timings.
+    pub fn ddr5_baseline() -> Self {
+        Self::with_mode(TimingMode::Baseline)
+    }
+
+    /// Paper-default DDR5 module with the given timing mode.
+    pub fn with_mode(mode: TimingMode) -> Self {
+        Self {
+            geometry: Geometry::ddr5(),
+            mode,
+            timings: TimingsNs::for_mode(mode).resolve(),
+            blast_radius: 2,
+            oracle_nrh: None,
+            strict: cfg!(debug_assertions),
+        }
+    }
+
+    /// Small geometry for unit tests.
+    pub fn tiny() -> Self {
+        let mut c = Self::ddr5_baseline();
+        c.geometry = Geometry::tiny();
+        c.strict = true;
+        c
+    }
+}
+
+/// One DDR5 channel with its ranks, timing frontiers, mitigation mechanism,
+/// statistics, and optional disturbance oracle.
+pub struct DramDevice {
+    cfg: DramConfig,
+    ranks: Vec<Rank>,
+    /// Channel-level earliest next RD issue (data-bus + turnaround).
+    next_rd: Cycle,
+    /// Channel-level earliest next WR issue.
+    next_wr: Cycle,
+    mitigation: Box<dyn DramMitigation + Send>,
+    oracle: Option<DisturbOracle>,
+    stats: DramStats,
+}
+
+impl std::fmt::Debug for DramDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DramDevice")
+            .field("mode", &self.cfg.mode)
+            .field("mitigation", &self.mitigation.kind_name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DramDevice {
+    /// A device with no mitigation mechanism (the evaluation baseline).
+    pub fn new(cfg: DramConfig) -> Self {
+        Self::with_mitigation(cfg, Box::new(NoMitigation))
+    }
+
+    /// A device with an on-die mitigation mechanism attached.
+    pub fn with_mitigation(cfg: DramConfig, mitigation: Box<dyn DramMitigation + Send>) -> Self {
+        let ranks = (0..cfg.geometry.ranks)
+            .map(|_| Rank::new(&cfg.geometry))
+            .collect();
+        let oracle = cfg
+            .oracle_nrh
+            .map(|nrh| DisturbOracle::new(cfg.geometry, cfg.blast_radius, nrh));
+        Self {
+            cfg,
+            ranks,
+            next_rd: 0,
+            next_wr: 0,
+            mitigation,
+            oracle,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Resolved timing parameters.
+    pub fn timings(&self) -> &Timings {
+        &self.cfg.timings
+    }
+
+    /// Channel geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.cfg.geometry
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    fn bank(&self, id: BankId) -> &Bank {
+        let g = &self.cfg.geometry;
+        &self.ranks[id.rank as usize].banks
+            [(id.group as usize) * g.banks_per_group + id.bank as usize]
+    }
+
+    fn bank_mut(&mut self, id: BankId) -> &mut Bank {
+        let g = self.cfg.geometry;
+        &mut self.ranks[id.rank as usize].banks
+            [(id.group as usize) * g.banks_per_group + id.bank as usize]
+    }
+
+    /// The open row of `bank`, if any.
+    pub fn open_row(&self, bank: BankId) -> Option<RowId> {
+        self.bank(bank).open_row()
+    }
+
+    /// True if every bank of `rank` is precharged.
+    pub fn rank_all_idle(&self, rank: usize) -> bool {
+        self.ranks[rank].all_idle()
+    }
+
+    /// Cycle until which `rank` is blocked by REF/RFM.
+    pub fn rank_blocked_until(&self, rank: usize) -> Cycle {
+        self.ranks[rank].blocked_until
+    }
+
+    /// True if the rank's back-off signal is asserted and already visible at
+    /// `now` (assertions propagate with `tALERT`).
+    pub fn alert_visible(&self, rank: usize, now: Cycle) -> bool {
+        matches!(self.ranks[rank].alert_at, Some(at) if at <= now)
+    }
+
+    /// Clears the rank's back-off latch (controller acknowledgement).
+    pub fn clear_alert(&mut self, rank: usize) {
+        self.ranks[rank].alert_at = None;
+    }
+
+    /// Whether the mechanism still has rows above the back-off threshold in
+    /// `rank` (drives Chronus's dynamic recovery, §7.2).
+    pub fn alert_still_needed(&self, rank: usize) -> bool {
+        self.mitigation.alert_still_needed(rank)
+    }
+
+    /// Device statistics (activity counters are finalized lazily; call
+    /// [`DramDevice::finalize`] before reading background-cycle fields).
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Mechanism-reported counters.
+    pub fn mitigation_stats(&self) -> MitigationStats {
+        self.mitigation.stats()
+    }
+
+    /// The attached mitigation mechanism.
+    pub fn mitigation(&self) -> &(dyn DramMitigation + Send) {
+        self.mitigation.as_ref()
+    }
+
+    /// The disturbance oracle, if enabled.
+    pub fn oracle(&self) -> Option<&DisturbOracle> {
+        self.oracle.as_ref()
+    }
+
+    /// Informs the oracle that a controller-side mechanism has finished
+    /// refreshing all victims of `aggressor` (the last `VRR` of the group
+    /// has been issued). Resets the oracle's `A(aggressor)`; no timing
+    /// effect — the individual `VRR` commands carry the cost.
+    pub fn note_aggressor_serviced(&mut self, bank: BankId, aggressor: RowId) {
+        if let Some(o) = &mut self.oracle {
+            o.on_victims_refreshed(bank, aggressor);
+        }
+    }
+
+    /// Folds open-bank activity into the stats; call once at end of
+    /// simulation with the final cycle.
+    pub fn finalize(&mut self, now: Cycle) {
+        let mut active = 0;
+        for r in &mut self.ranks {
+            r.finalize_activity(now);
+            active += r.active_cycles;
+        }
+        self.stats.active_standby_cycles = active;
+        self.stats.total_cycles = now;
+        self.stats.precharge_standby_cycles =
+            (now * self.cfg.geometry.ranks as u64).saturating_sub(active);
+    }
+
+    /// Whether `cmd` may legally be issued at cycle `now`.
+    pub fn can_issue(&self, cmd: &Command, now: Cycle) -> bool {
+        let t = &self.cfg.timings;
+        match *cmd {
+            Command::Act { bank, row } => {
+                debug_assert!((row as usize) < self.cfg.geometry.rows, "row out of range");
+                let r = &self.ranks[bank.rank as usize];
+                let b = self.bank(bank);
+                b.is_idle()
+                    && now >= r.blocked_until
+                    && now >= b.next_act
+                    && now >= r.next_act_any
+                    && now >= r.next_act_group[bank.group as usize]
+                    && now >= r.faw_ready_at(t.faw)
+            }
+            Command::Vrr { bank, .. } => {
+                let r = &self.ranks[bank.rank as usize];
+                let b = self.bank(bank);
+                b.is_idle()
+                    && now >= r.blocked_until
+                    && now >= b.next_act
+                    && now >= r.next_act_any
+                    && now >= r.next_act_group[bank.group as usize]
+                    && now >= r.faw_ready_at(t.faw)
+            }
+            Command::Pre { bank } => {
+                let r = &self.ranks[bank.rank as usize];
+                let b = self.bank(bank);
+                !b.is_idle() && now >= r.blocked_until && now >= b.next_pre
+            }
+            Command::PreAll { rank } => {
+                let r = &self.ranks[rank];
+                now >= r.blocked_until
+                    && r.banks
+                        .iter()
+                        .all(|b| b.is_idle() || now >= b.next_pre)
+            }
+            Command::Rd { bank, col } | Command::RdA { bank, col } => {
+                debug_assert!((col as usize) < self.cfg.geometry.cols, "col out of range");
+                let r = &self.ranks[bank.rank as usize];
+                let b = self.bank(bank);
+                !b.is_idle()
+                    && now >= r.blocked_until
+                    && now >= b.next_rd
+                    && now >= r.next_rd_any
+                    && now >= r.next_rd_group[bank.group as usize]
+                    && now >= self.next_rd
+            }
+            Command::Wr { bank, col } | Command::WrA { bank, col } => {
+                debug_assert!((col as usize) < self.cfg.geometry.cols, "col out of range");
+                let r = &self.ranks[bank.rank as usize];
+                let b = self.bank(bank);
+                !b.is_idle()
+                    && now >= r.blocked_until
+                    && now >= b.next_wr
+                    && now >= r.next_wr_any
+                    && now >= r.next_wr_group[bank.group as usize]
+                    && now >= self.next_wr
+            }
+            Command::RefAll { rank } | Command::RfmAll { rank } => {
+                let r = &self.ranks[rank];
+                now >= r.blocked_until
+                    && r.all_idle()
+                    && r.banks.iter().all(|b| now >= b.next_act)
+            }
+        }
+    }
+
+    /// Executes `cmd` at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command is illegal at `now` and the device is in strict
+    /// mode (`cfg.strict`, on by default in debug builds).
+    pub fn issue(&mut self, cmd: &Command, now: Cycle) {
+        if self.cfg.strict {
+            assert!(
+                self.can_issue(cmd, now),
+                "timing violation: {cmd} at cycle {now}"
+            );
+        }
+        let t = self.cfg.timings;
+        match *cmd {
+            Command::Act { bank, row } => {
+                self.do_activate(bank, row, now, false);
+            }
+            Command::Vrr { bank, row } => {
+                self.do_activate(bank, row, now, true);
+            }
+            Command::Pre { bank } => {
+                let row = self.bank(bank).open_row().expect("PRE on idle bank");
+                self.close_row(bank, row, now);
+            }
+            Command::PreAll { rank } => {
+                let g = self.cfg.geometry;
+                for i in 0..g.banks_per_rank() {
+                    let id = BankId::from_flat(rank * g.banks_per_rank() + i, &g);
+                    if let Some(row) = self.bank(id).open_row() {
+                        self.close_row(id, row, now);
+                    }
+                }
+            }
+            Command::Rd { bank, .. } => {
+                self.do_read(bank, now);
+            }
+            Command::RdA { bank, .. } => {
+                self.do_read(bank, now);
+                // Auto-precharge: row closes tRTP after the read.
+                let row = self.bank(bank).open_row().expect("RDA on idle bank");
+                let pre_at = now + t.rtp;
+                self.close_row_at(bank, row, now, pre_at);
+            }
+            Command::Wr { bank, .. } => {
+                self.do_write(bank, now);
+            }
+            Command::WrA { bank, .. } => {
+                self.do_write(bank, now);
+                let row = self.bank(bank).open_row().expect("WRA on idle bank");
+                let pre_at = now + t.cwl + t.bl + t.wr;
+                self.close_row_at(bank, row, now, pre_at);
+            }
+            Command::RefAll { rank } => {
+                self.do_refresh(rank, now);
+            }
+            Command::RfmAll { rank } => {
+                self.do_rfm(rank, now);
+            }
+        }
+    }
+
+    fn do_activate(&mut self, bank: BankId, row: RowId, now: Cycle, is_vrr: bool) {
+        let t = self.cfg.timings;
+        {
+            let r = &mut self.ranks[bank.rank as usize];
+            r.push_faw(now);
+            r.next_act_any = r.next_act_any.max(now + t.rrd_s);
+            let g = bank.group as usize;
+            r.next_act_group[g] = r.next_act_group[g].max(now + t.rrd_l);
+        }
+        if is_vrr {
+            // VRR = internal activate + precharge of the victim row; the
+            // bank is busy for a full row cycle and stays precharged.
+            let b = self.bank_mut(bank);
+            b.next_act = b.next_act.max(now + t.rc);
+            self.stats.vrrs += 1;
+            if let Some(o) = &mut self.oracle {
+                o.on_row_refreshed(bank, row);
+            }
+            return;
+        }
+        {
+            let b = self.bank_mut(bank);
+            debug_assert!(b.is_idle());
+            b.state = BankState::Opened { row };
+            b.next_pre = now + t.ras;
+            b.next_rd = now + t.rcd;
+            b.next_wr = now + t.rcd;
+            b.next_act = now + t.rc;
+            b.acts += 1;
+        }
+        self.ranks[bank.rank as usize].bank_opened(now);
+        self.stats.acts += 1;
+        if let Some(o) = &mut self.oracle {
+            o.on_activate(bank, row);
+        }
+        if self.mitigation.on_activate(bank, row, now) {
+            self.assert_alert(bank.rank as usize, now);
+        }
+    }
+
+    fn close_row(&mut self, bank: BankId, row: RowId, now: Cycle) {
+        let t = self.cfg.timings;
+        {
+            let b = self.bank_mut(bank);
+            b.state = BankState::Idle;
+            b.next_act = b.next_act.max(now + t.rp);
+        }
+        self.ranks[bank.rank as usize].bank_closed(now);
+        self.stats.pres += 1;
+        if self.mitigation.on_precharge(bank, row, now) {
+            self.assert_alert(bank.rank as usize, now);
+        }
+    }
+
+    /// Auto-precharge variant: the precharge point is `pre_at` (> now).
+    fn close_row_at(&mut self, bank: BankId, row: RowId, now: Cycle, pre_at: Cycle) {
+        let t = self.cfg.timings;
+        {
+            let b = self.bank_mut(bank);
+            b.state = BankState::Idle;
+            b.next_act = b.next_act.max(pre_at + t.rp);
+        }
+        self.ranks[bank.rank as usize].bank_closed(now);
+        self.stats.pres += 1;
+        if self.mitigation.on_precharge(bank, row, pre_at) {
+            self.assert_alert(bank.rank as usize, pre_at);
+        }
+    }
+
+    fn do_read(&mut self, bank: BankId, now: Cycle) {
+        let t = self.cfg.timings;
+        {
+            let b = self.bank_mut(bank);
+            b.next_pre = b.next_pre.max(now + t.rtp);
+        }
+        let r = &mut self.ranks[bank.rank as usize];
+        r.next_rd_any = r.next_rd_any.max(now + t.ccd_s);
+        let g = bank.group as usize;
+        r.next_rd_group[g] = r.next_rd_group[g].max(now + t.ccd_l);
+        // Data burst occupies [now+CL, now+CL+BL); block conflicting bus use.
+        let burst_end = now + t.cl + t.bl;
+        self.next_rd = self.next_rd.max(burst_end - t.cl);
+        // Read→write turnaround: the write burst must start after the read
+        // burst ends (plus 2 cycles of bus turnaround).
+        self.next_wr = self.next_wr.max((burst_end + 2).saturating_sub(t.cwl));
+        self.stats.reads += 1;
+    }
+
+    fn do_write(&mut self, bank: BankId, now: Cycle) {
+        let t = self.cfg.timings;
+        let burst_end = now + t.cwl + t.bl;
+        {
+            let b = self.bank_mut(bank);
+            b.next_pre = b.next_pre.max(burst_end + t.wr);
+        }
+        let r = &mut self.ranks[bank.rank as usize];
+        r.next_wr_any = r.next_wr_any.max(now + t.ccd_s);
+        let g = bank.group as usize;
+        r.next_wr_group[g] = r.next_wr_group[g].max(now + t.ccd_l);
+        // Write→read turnaround (tWTR measured from end of write burst).
+        r.next_rd_any = r.next_rd_any.max(burst_end + t.wtr_s);
+        r.next_rd_group[g] = r.next_rd_group[g].max(burst_end + t.wtr_l);
+        self.next_wr = self.next_wr.max(burst_end - t.cwl);
+        self.next_rd = self.next_rd.max((burst_end + 2).saturating_sub(t.cl));
+        self.stats.writes += 1;
+    }
+
+    fn do_refresh(&mut self, rank: usize, now: Cycle) {
+        let t = self.cfg.timings;
+        {
+            let r = &mut self.ranks[rank];
+            r.blocked_until = now + t.rfc;
+            for b in &mut r.banks {
+                b.next_act = b.next_act.max(now + t.rfc);
+            }
+            r.refs_done += 1;
+        }
+        self.stats.refs += 1;
+        let ref_idx = self.ranks[rank].refs_done;
+        if let Some(o) = &mut self.oracle {
+            o.on_periodic_sweep(rank, ref_idx.wrapping_sub(1));
+        }
+        let serviced = self.mitigation.on_periodic_refresh(rank, now);
+        self.stats.borrowed_refreshes += serviced.len() as u64;
+        if let Some(o) = &mut self.oracle {
+            for (bank, aggressor) in serviced {
+                o.on_victims_refreshed(bank, aggressor);
+            }
+        }
+    }
+
+    fn do_rfm(&mut self, rank: usize, now: Cycle) {
+        let t = self.cfg.timings;
+        {
+            let r = &mut self.ranks[rank];
+            r.blocked_until = now + t.rfm;
+            for b in &mut r.banks {
+                b.next_act = b.next_act.max(now + t.rfm);
+            }
+        }
+        self.stats.rfms += 1;
+        let g = self.cfg.geometry;
+        for i in 0..g.banks_per_rank() {
+            let id = BankId::from_flat(rank * g.banks_per_rank() + i, &g);
+            let outcome = self.mitigation.on_rfm(id, now);
+            if let Some(aggressor) = outcome.refreshed_aggressor {
+                self.stats.rfm_victim_rows +=
+                    victims_of(aggressor, self.cfg.blast_radius, g.rows).len() as u64;
+                if let Some(o) = &mut self.oracle {
+                    o.on_victims_refreshed(id, aggressor);
+                }
+            }
+        }
+    }
+
+    fn assert_alert(&mut self, rank: usize, now: Cycle) {
+        let at = now + self.cfg.timings.alert;
+        let slot = &mut self.ranks[rank].alert_at;
+        if slot.is_none() {
+            *slot = Some(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DramDevice {
+        DramDevice::new(DramConfig::tiny())
+    }
+
+    const B0: BankId = BankId::new(0, 0, 0);
+    const B1: BankId = BankId::new(0, 0, 1);
+
+    #[test]
+    fn act_then_read_respects_trcd() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 3 }, 0);
+        assert!(!d.can_issue(&Command::Rd { bank: B0, col: 0 }, t.rcd - 1));
+        assert!(d.can_issue(&Command::Rd { bank: B0, col: 0 }, t.rcd));
+    }
+
+    #[test]
+    fn pre_respects_tras_and_act_respects_trp() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 3 }, 0);
+        assert!(!d.can_issue(&Command::Pre { bank: B0 }, t.ras - 1));
+        assert!(d.can_issue(&Command::Pre { bank: B0 }, t.ras));
+        d.issue(&Command::Pre { bank: B0 }, t.ras);
+        let reopen = t.ras + t.rp;
+        assert!(!d.can_issue(&Command::Act { bank: B0, row: 4 }, reopen - 1));
+        assert!(d.can_issue(&Command::Act { bank: B0, row: 4 }, reopen.max(t.rc)));
+    }
+
+    #[test]
+    fn same_bank_act_to_act_is_trc() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 1 }, 0);
+        d.issue(&Command::Pre { bank: B0 }, t.ras);
+        // tRC (76) > tRAS + tRP (52 + 24 = 76) for baseline: equal here.
+        assert!(!d.can_issue(&Command::Act { bank: B0, row: 2 }, t.rc - 1));
+        assert!(d.can_issue(&Command::Act { bank: B0, row: 2 }, t.rc));
+    }
+
+    #[test]
+    fn different_banks_separated_by_trrd() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 1 }, 0);
+        // Same bank group: tRRD_L.
+        assert!(!d.can_issue(&Command::Act { bank: B1, row: 1 }, t.rrd_l - 1));
+        assert!(d.can_issue(&Command::Act { bank: B1, row: 1 }, t.rrd_l));
+    }
+
+    #[test]
+    fn faw_blocks_fifth_activation() {
+        // Use an artificially long tFAW so the window binds (with the
+        // standard bin, 4 × tRRD ≥ tFAW and the window is never limiting).
+        let mut cfg = DramConfig::ddr5_baseline();
+        let mut ns = TimingsNs::ddr5_3200an_baseline();
+        ns.tfaw = 60.0; // 96 cycles
+        cfg.timings = ns.resolve();
+        cfg.strict = true;
+        let mut d = DramDevice::new(cfg);
+        let t = *d.timings();
+        let g = *d.geometry();
+        let mut now = 0;
+        for i in 0..4usize {
+            let bank = BankId::from_flat(i, &g);
+            assert!(d.can_issue(&Command::Act { bank, row: 0 }, now));
+            d.issue(&Command::Act { bank, row: 0 }, now);
+            now += t.rrd_l;
+        }
+        // Four ACTs at 0, 8, 16, 24; the fifth must wait until 0 + tFAW.
+        assert!(now < t.faw);
+        let fifth = BankId::new(0, 4, 0);
+        assert!(!d.can_issue(&Command::Act { bank: fifth, row: 0 }, now));
+        assert!(!d.can_issue(&Command::Act { bank: fifth, row: 0 }, t.faw - 1));
+        assert!(d.can_issue(&Command::Act { bank: fifth, row: 0 }, t.faw));
+    }
+
+    #[test]
+    fn refresh_blocks_rank() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::RefAll { rank: 0 }, 0);
+        assert_eq!(d.rank_blocked_until(0), t.rfc);
+        assert!(!d.can_issue(&Command::Act { bank: B0, row: 0 }, t.rfc - 1));
+        assert!(d.can_issue(&Command::Act { bank: B0, row: 0 }, t.rfc));
+        assert_eq!(d.stats().refs, 1);
+    }
+
+    #[test]
+    fn refresh_requires_all_banks_idle() {
+        let mut d = dev();
+        d.issue(&Command::Act { bank: B0, row: 0 }, 0);
+        assert!(!d.can_issue(&Command::RefAll { rank: 0 }, 100));
+    }
+
+    #[test]
+    fn rfm_blocks_rank_for_trfm() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::RfmAll { rank: 0 }, 0);
+        assert_eq!(d.rank_blocked_until(0), t.rfm);
+        assert_eq!(d.stats().rfms, 1);
+    }
+
+    #[test]
+    fn vrr_occupies_bank_for_trc() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Vrr { bank: B0, row: 9 }, 0);
+        assert!(d.open_row(B0).is_none());
+        assert!(!d.can_issue(&Command::Act { bank: B0, row: 1 }, t.rc - 1));
+        assert!(d.can_issue(&Command::Act { bank: B0, row: 1 }, t.rc));
+        assert_eq!(d.stats().vrrs, 1);
+    }
+
+    #[test]
+    fn write_then_pre_respects_write_recovery() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 3 }, 0);
+        d.issue(&Command::Wr { bank: B0, col: 0 }, t.rcd);
+        let pre_ok = t.rcd + t.cwl + t.bl + t.wr;
+        assert!(!d.can_issue(&Command::Pre { bank: B0 }, pre_ok - 1));
+        assert!(d.can_issue(&Command::Pre { bank: B0 }, pre_ok));
+    }
+
+    #[test]
+    fn write_to_read_turnaround() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 3 }, 0);
+        d.issue(&Command::Act { bank: B1, row: 3 }, t.rrd_l);
+        let wr_at = t.rcd;
+        d.issue(&Command::Wr { bank: B0, col: 0 }, wr_at);
+        let rd_ok = wr_at + t.cwl + t.bl + t.wtr_l; // same bank group
+        assert!(!d.can_issue(&Command::Rd { bank: B1, col: 0 }, rd_ok - 1));
+        assert!(d.can_issue(&Command::Rd { bank: B1, col: 0 }, rd_ok));
+    }
+
+    #[test]
+    fn oracle_sees_activations() {
+        let mut cfg = DramConfig::tiny();
+        cfg.oracle_nrh = Some(100);
+        let mut d = DramDevice::new(cfg);
+        let t = *d.timings();
+        let mut now = 0;
+        for _ in 0..5 {
+            d.issue(&Command::Act { bank: B0, row: 50 }, now);
+            now += t.ras;
+            d.issue(&Command::Pre { bank: B0 }, now);
+            now += t.rp.max(t.rc - t.ras);
+        }
+        let o = d.oracle().unwrap();
+        assert_eq!(o.damage_of(B0, 49), 5);
+        assert_eq!(o.max_damage(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "timing violation")]
+    fn strict_mode_panics_on_violation() {
+        let mut d = dev();
+        d.issue(&Command::Act { bank: B0, row: 0 }, 0);
+        // Reading before tRCD is illegal.
+        d.issue(&Command::Rd { bank: B0, col: 0 }, 1);
+    }
+
+    #[test]
+    fn finalize_accounts_background_split() {
+        let mut d = dev();
+        let t = *d.timings();
+        d.issue(&Command::Act { bank: B0, row: 0 }, 10);
+        d.issue(&Command::Pre { bank: B0 }, 10 + t.ras);
+        d.finalize(1000);
+        let s = d.stats();
+        assert_eq!(s.active_standby_cycles, t.ras);
+        assert_eq!(s.total_cycles, 1000);
+        // One rank in the tiny geometry.
+        assert_eq!(s.precharge_standby_cycles, 1000 - t.ras);
+    }
+}

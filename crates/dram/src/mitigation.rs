@@ -1,0 +1,131 @@
+//! The on-DRAM-die mitigation extension point.
+//!
+//! PRAC, Chronus and the PRFM device-side sampler (all in `chronus-core`)
+//! implement [`DramMitigation`]; the device calls the hooks as commands are
+//! executed. A mechanism signals the need for preventive refreshes by
+//! returning `true` from [`DramMitigation::on_activate`] or
+//! [`DramMitigation::on_precharge`], which latches the rank's `alert_n`
+//! back-off signal (§3 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{BankId, RowId};
+use crate::Cycle;
+
+/// Result of serving one RFM command in one bank.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RfmOutcome {
+    /// The aggressor row whose victims were preventively refreshed, if the
+    /// mechanism had a candidate (the device refreshes `blast_radius`
+    /// neighbours on each side).
+    pub refreshed_aggressor: Option<RowId>,
+}
+
+/// Counters a mechanism reports for evaluation (energy adders, back-offs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MitigationStats {
+    /// Back-off assertions requested.
+    pub back_offs: u64,
+    /// In-DRAM counter read-modify-writes performed (PRAC: during PRE;
+    /// Chronus: concurrent, in the counter subarray).
+    pub counter_updates: u64,
+    /// Aggressors whose victims were refreshed by RFM service.
+    pub rfm_refreshes: u64,
+    /// Aggressors whose victims were refreshed by borrowing time from
+    /// periodic refreshes (§5).
+    pub borrowed_refreshes: u64,
+}
+
+/// On-DRAM-die read-disturbance mitigation hook.
+///
+/// All methods take the current cycle so mechanisms can implement
+/// time-based policies. The device guarantees `on_precharge` is called with
+/// the row that was open, exactly once per row closure (explicit PRE,
+/// auto-precharge, or PREab).
+pub trait DramMitigation {
+    /// A row was activated. Returns `true` to assert the back-off signal
+    /// (Chronus asserts here: CCU updates the counter during the activation).
+    fn on_activate(&mut self, bank: BankId, row: RowId, now: Cycle) -> bool;
+
+    /// The open row is being closed. Returns `true` to assert the back-off
+    /// signal (PRAC increments the counter and compares here).
+    fn on_precharge(&mut self, bank: BankId, row: RowId, now: Cycle) -> bool;
+
+    /// Serve one RFM command for `bank`: pick the most critical aggressor,
+    /// reset its counter, and report it so the device can refresh its
+    /// victims.
+    fn on_rfm(&mut self, bank: BankId, now: Cycle) -> RfmOutcome;
+
+    /// A periodic REFab on `rank`: the mechanism may borrow time to
+    /// transparently refresh victims of high-count rows (§5). Returns the
+    /// aggressors serviced (at most one per bank per REF in the paper's
+    /// model).
+    fn on_periodic_refresh(&mut self, rank: usize, now: Cycle) -> Vec<(BankId, RowId)>;
+
+    /// After an RFM, does any row in `rank` still exceed the back-off
+    /// threshold? Chronus keeps `alert_n` asserted while this holds (§7.2);
+    /// PRAC always reports `false` (fixed `N_Ref` refreshes per back-off).
+    fn alert_still_needed(&self, rank: usize) -> bool {
+        let _ = rank;
+        false
+    }
+
+    /// Introspection for tests: the activation count the mechanism holds for
+    /// `row`, if it keeps one.
+    fn counter_of(&self, bank: BankId, row: RowId) -> Option<u32> {
+        let _ = (bank, row);
+        None
+    }
+
+    /// Evaluation counters.
+    fn stats(&self) -> MitigationStats {
+        MitigationStats::default()
+    }
+
+    /// Short mechanism name for reports.
+    fn kind_name(&self) -> &'static str;
+}
+
+/// The unprotected baseline: no counters, no back-offs, idle RFMs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMitigation;
+
+impl DramMitigation for NoMitigation {
+    fn on_activate(&mut self, _bank: BankId, _row: RowId, _now: Cycle) -> bool {
+        false
+    }
+
+    fn on_precharge(&mut self, _bank: BankId, _row: RowId, _now: Cycle) -> bool {
+        false
+    }
+
+    fn on_rfm(&mut self, _bank: BankId, _now: Cycle) -> RfmOutcome {
+        RfmOutcome::default()
+    }
+
+    fn on_periodic_refresh(&mut self, _rank: usize, _now: Cycle) -> Vec<(BankId, RowId)> {
+        Vec::new()
+    }
+
+    fn kind_name(&self) -> &'static str {
+        "none"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_mitigation_never_alerts() {
+        let mut m = NoMitigation;
+        let b = BankId::new(0, 0, 0);
+        assert!(!m.on_activate(b, 1, 0));
+        assert!(!m.on_precharge(b, 1, 10));
+        assert_eq!(m.on_rfm(b, 20).refreshed_aggressor, None);
+        assert!(m.on_periodic_refresh(0, 30).is_empty());
+        assert!(!m.alert_still_needed(0));
+        assert_eq!(m.stats(), MitigationStats::default());
+        assert_eq!(m.kind_name(), "none");
+    }
+}

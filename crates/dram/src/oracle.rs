@@ -1,0 +1,235 @@
+//! Ground-truth read-disturbance tracking.
+//!
+//! The oracle is *not* part of any mechanism: it observes every activation
+//! and every victim refresh the device performs and maintains, per row, the
+//! number of aggressor activations the row has absorbed since it was last
+//! refreshed. Tests and the security harness use it to verify empirically
+//! that a configuration keeps every row below `N_RH` (the paper's security
+//! criterion, §8: a system is secure iff `A(i) < N_RH` for all rows at all
+//! times — here expressed from the victim's perspective).
+
+use crate::geometry::{victims_of, BankId, Geometry, RowId};
+
+/// Per-row disturbance counters with would-be-bitflip detection.
+///
+/// Two complementary views are maintained:
+///
+/// * **Per-aggressor** `A(i)`: activations of row *i* since *i*'s victims
+///   were last refreshed. This is the paper's §8 security criterion
+///   (`A(i) < N_RH` for all rows at all times) and what the deterministic
+///   mechanisms bound.
+/// * **Per-victim damage**: disturbances a row absorbed from all its
+///   neighbours since it was last refreshed — a diagnostic for
+///   probabilistic mechanisms such as PARA that refresh victims
+///   individually.
+#[derive(Debug, Clone)]
+pub struct DisturbOracle {
+    geo: Geometry,
+    blast_radius: u32,
+    nrh: u32,
+    /// damage[flat_bank][row] = disturbances absorbed since last refresh.
+    damage: Vec<Vec<u32>>,
+    /// acts[flat_bank][row] = A(row): activations since the row's victims
+    /// were refreshed.
+    acts: Vec<Vec<u32>>,
+    max_damage: u32,
+    max_acts: u32,
+    flips: u64,
+}
+
+impl DisturbOracle {
+    /// Creates an oracle that flags aggressors reaching `nrh` activations.
+    pub fn new(geo: Geometry, blast_radius: u32, nrh: u32) -> Self {
+        let banks = geo.total_banks();
+        Self {
+            geo,
+            blast_radius,
+            nrh,
+            damage: (0..banks).map(|_| vec![0u32; geo.rows]).collect(),
+            acts: (0..banks).map(|_| vec![0u32; geo.rows]).collect(),
+            max_damage: 0,
+            max_acts: 0,
+            flips: 0,
+        }
+    }
+
+    /// Records an activation of `row`: `A(row)` increments and all of
+    /// `row`'s victims absorb one disturbance.
+    pub fn on_activate(&mut self, bank: BankId, row: RowId) {
+        let flat = bank.flat(&self.geo);
+        let a = &mut self.acts[flat][row as usize];
+        *a += 1;
+        if *a > self.max_acts {
+            self.max_acts = *a;
+        }
+        if *a == self.nrh {
+            self.flips += 1;
+        }
+        for v in victims_of(row, self.blast_radius, self.geo.rows) {
+            let d = &mut self.damage[flat][v as usize];
+            *d += 1;
+            if *d > self.max_damage {
+                self.max_damage = *d;
+            }
+        }
+    }
+
+    /// Records that `row` itself has been refreshed (an individual VRR or
+    /// the periodic sweep): its absorbed damage clears. Per-aggressor
+    /// counts are unaffected — use [`DisturbOracle::on_victims_refreshed`]
+    /// when a whole victim set is serviced.
+    pub fn on_row_refreshed(&mut self, bank: BankId, row: RowId) {
+        let flat = bank.flat(&self.geo);
+        self.damage[flat][row as usize] = 0;
+    }
+
+    /// Records that all victims of `aggressor` were refreshed: `A(aggressor)`
+    /// resets and the victims' damage clears.
+    pub fn on_victims_refreshed(&mut self, bank: BankId, aggressor: RowId) {
+        let flat = bank.flat(&self.geo);
+        self.acts[flat][aggressor as usize] = 0;
+        for v in victims_of(aggressor, self.blast_radius, self.geo.rows) {
+            self.damage[flat][v as usize] = 0;
+        }
+    }
+
+    /// Records a periodic-refresh sweep segment: REFab number `ref_idx`
+    /// refreshes a 1/8192-th slice of every bank in the rank (DDR5 refreshes
+    /// the whole device every 8192 REFs). Aggressors whose complete victim
+    /// set lies inside the refreshed slice reset their `A` count.
+    pub fn on_periodic_sweep(&mut self, rank: usize, ref_idx: u64) {
+        let slices = 8192u64;
+        let rows_per_slice = (self.geo.rows as u64).div_ceil(slices);
+        let slice = ref_idx % slices;
+        let start = (slice * rows_per_slice).min(self.geo.rows as u64) as usize;
+        let end = ((slice + 1) * rows_per_slice).min(self.geo.rows as u64) as usize;
+        let base = rank * self.geo.banks_per_rank();
+        let br = self.blast_radius as usize;
+        let a_start = if start == 0 { 0 } else { start + br };
+        let a_end = if end >= self.geo.rows {
+            self.geo.rows
+        } else {
+            end.saturating_sub(br)
+        };
+        for b in base..base + self.geo.banks_per_rank() {
+            for d in &mut self.damage[b][start..end] {
+                *d = 0;
+            }
+            if a_start < a_end {
+                for a in &mut self.acts[b][a_start..a_end] {
+                    *a = 0;
+                }
+            }
+        }
+    }
+
+    /// Highest disturbance any victim has absorbed between refreshes.
+    pub fn max_damage(&self) -> u32 {
+        self.max_damage
+    }
+
+    /// Highest `A(i)` any aggressor reached between victim refreshes — the
+    /// §8 security metric.
+    pub fn max_aggressor_acts(&self) -> u32 {
+        self.max_acts
+    }
+
+    /// Number of would-be bitflip events (an aggressor reaching `nrh`).
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Current absorbed damage of one row.
+    pub fn damage_of(&self, bank: BankId, row: RowId) -> u32 {
+        self.damage[bank.flat(&self.geo)][row as usize]
+    }
+
+    /// Current `A(row)` of one row.
+    pub fn acts_of(&self, bank: BankId, row: RowId) -> u32 {
+        self.acts[bank.flat(&self.geo)][row as usize]
+    }
+
+    /// The configured disturbance threshold.
+    pub fn nrh(&self) -> u32 {
+        self.nrh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle() -> DisturbOracle {
+        DisturbOracle::new(Geometry::tiny(), 2, 10)
+    }
+
+    #[test]
+    fn activation_damages_victims_not_self() {
+        let mut o = oracle();
+        let b = BankId::new(0, 0, 0);
+        o.on_activate(b, 100);
+        assert_eq!(o.damage_of(b, 100), 0);
+        assert_eq!(o.damage_of(b, 99), 1);
+        assert_eq!(o.damage_of(b, 101), 1);
+        assert_eq!(o.damage_of(b, 98), 1);
+        assert_eq!(o.damage_of(b, 102), 1);
+        assert_eq!(o.damage_of(b, 103), 0);
+        assert_eq!(o.max_damage(), 1);
+    }
+
+    #[test]
+    fn refresh_clears_damage() {
+        let mut o = oracle();
+        let b = BankId::new(0, 0, 0);
+        for _ in 0..5 {
+            o.on_activate(b, 100);
+        }
+        assert_eq!(o.damage_of(b, 101), 5);
+        assert_eq!(o.acts_of(b, 100), 5);
+        o.on_row_refreshed(b, 101);
+        assert_eq!(o.damage_of(b, 101), 0);
+        assert_eq!(o.damage_of(b, 99), 5); // untouched
+        assert_eq!(o.acts_of(b, 100), 5); // single-victim refresh ≠ service
+        o.on_victims_refreshed(b, 100);
+        assert_eq!(o.damage_of(b, 99), 0);
+        assert_eq!(o.acts_of(b, 100), 0);
+        // High-water marks persist.
+        assert_eq!(o.max_damage(), 5);
+        assert_eq!(o.max_aggressor_acts(), 5);
+    }
+
+    #[test]
+    fn double_sided_hammer_accumulates() {
+        let mut o = oracle();
+        let b = BankId::new(0, 0, 0);
+        for _ in 0..4 {
+            o.on_activate(b, 99);
+            o.on_activate(b, 101);
+        }
+        // Row 100 is a blast-1 victim of both aggressors.
+        assert_eq!(o.damage_of(b, 100), 8);
+    }
+
+    #[test]
+    fn flips_detected_at_threshold() {
+        let mut o = oracle();
+        let b = BankId::new(0, 0, 0);
+        for _ in 0..10 {
+            o.on_activate(b, 50);
+        }
+        assert!(o.flips() > 0);
+        assert_eq!(o.max_aggressor_acts(), 10);
+    }
+
+    #[test]
+    fn periodic_sweep_clears_slice() {
+        let geo = Geometry::tiny();
+        let mut o = DisturbOracle::new(geo, 2, 1000);
+        let b = BankId::new(0, 0, 0);
+        o.on_activate(b, 1); // damages rows 0, 2, 3
+        // Slice 0 covers the first ceil(1024/8192) = 1 row of every bank.
+        o.on_periodic_sweep(0, 0);
+        assert_eq!(o.damage_of(b, 0), 0);
+        assert_eq!(o.damage_of(b, 2), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-rank state: banks, FAW window, rank-wide blocking, alert latch.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bank::Bank;
+use crate::geometry::Geometry;
+use crate::Cycle;
+
+/// One DRAM rank: its banks plus rank-scoped timing frontiers and the
+/// per-rank `alert_n` (back-off) latch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rank {
+    /// Banks, indexed `group * banks_per_group + bank`.
+    pub banks: Vec<Bank>,
+    /// Timestamps of the last four ACTs (tFAW sliding window), oldest first.
+    faw: [Cycle; 4],
+    /// Number of valid entries in `faw`.
+    faw_len: usize,
+    /// Earliest next ACT anywhere in the rank (tRRD_S).
+    pub next_act_any: Cycle,
+    /// Earliest next ACT per bank group (tRRD_L).
+    pub next_act_group: Vec<Cycle>,
+    /// Earliest next RD anywhere in the rank (tCCD_S, tWTR_S).
+    pub next_rd_any: Cycle,
+    /// Earliest next RD per bank group (tCCD_L, tWTR_L).
+    pub next_rd_group: Vec<Cycle>,
+    /// Earliest next WR anywhere in the rank (tCCD_S).
+    pub next_wr_any: Cycle,
+    /// Earliest next WR per bank group (tCCD_L).
+    pub next_wr_group: Vec<Cycle>,
+    /// Rank blocked (REFab / RFMab in progress) until this cycle.
+    pub blocked_until: Cycle,
+    /// Back-off latch: the cycle at which the assertion becomes visible to
+    /// the controller, if asserted.
+    pub alert_at: Option<Cycle>,
+    /// Number of banks currently open (for background-energy accounting).
+    open_banks: u32,
+    /// Cycle at which `open_banks` last became non-zero.
+    active_since: Cycle,
+    /// Accumulated cycles with at least one bank open.
+    pub active_cycles: u64,
+    /// REFab commands served (drives the oracle's rolling refresh sweep).
+    pub refs_done: u64,
+}
+
+impl Rank {
+    /// A fresh rank for the given geometry.
+    pub fn new(geo: &Geometry) -> Self {
+        Self {
+            banks: (0..geo.banks_per_rank()).map(|_| Bank::new()).collect(),
+            faw: [0; 4],
+            faw_len: 0,
+            next_act_any: 0,
+            next_act_group: vec![0; geo.bankgroups],
+            next_rd_any: 0,
+            next_rd_group: vec![0; geo.bankgroups],
+            next_wr_any: 0,
+            next_wr_group: vec![0; geo.bankgroups],
+            blocked_until: 0,
+            alert_at: None,
+            open_banks: 0,
+            active_since: 0,
+            active_cycles: 0,
+            refs_done: 0,
+        }
+    }
+
+    /// Earliest cycle at which a new ACT satisfies the four-activate window.
+    pub fn faw_ready_at(&self, faw_cycles: Cycle) -> Cycle {
+        if self.faw_len < 4 {
+            0
+        } else {
+            self.faw[0] + faw_cycles
+        }
+    }
+
+    /// Records an ACT at `now` in the FAW window.
+    pub fn push_faw(&mut self, now: Cycle) {
+        if self.faw_len < 4 {
+            self.faw[self.faw_len] = now;
+            self.faw_len += 1;
+        } else {
+            self.faw.rotate_left(1);
+            self.faw[3] = now;
+        }
+    }
+
+    /// Marks one more bank open (for background-energy accounting).
+    pub fn bank_opened(&mut self, now: Cycle) {
+        if self.open_banks == 0 {
+            self.active_since = now;
+        }
+        self.open_banks += 1;
+    }
+
+    /// Marks one bank closed.
+    pub fn bank_closed(&mut self, now: Cycle) {
+        debug_assert!(self.open_banks > 0, "closing a bank on an all-idle rank");
+        self.open_banks -= 1;
+        if self.open_banks == 0 {
+            self.active_cycles += now.saturating_sub(self.active_since);
+        }
+    }
+
+    /// Number of banks currently open.
+    pub fn open_bank_count(&self) -> u32 {
+        self.open_banks
+    }
+
+    /// Folds any in-progress active interval into `active_cycles`.
+    pub fn finalize_activity(&mut self, now: Cycle) {
+        if self.open_banks > 0 {
+            self.active_cycles += now.saturating_sub(self.active_since);
+            self.active_since = now;
+        }
+    }
+
+    /// True if every bank is precharged.
+    pub fn all_idle(&self) -> bool {
+        self.banks.iter().all(Bank::is_idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank() -> Rank {
+        Rank::new(&Geometry::ddr5())
+    }
+
+    #[test]
+    fn faw_empty_window_is_always_ready() {
+        let r = rank();
+        assert_eq!(r.faw_ready_at(32), 0);
+    }
+
+    #[test]
+    fn faw_enforces_fourth_act() {
+        let mut r = rank();
+        for t in [10, 20, 30, 40] {
+            r.push_faw(t);
+        }
+        // The next ACT must wait until the oldest (10) + tFAW.
+        assert_eq!(r.faw_ready_at(32), 42);
+        r.push_faw(50);
+        assert_eq!(r.faw_ready_at(32), 52);
+    }
+
+    #[test]
+    fn active_cycle_accounting() {
+        let mut r = rank();
+        r.bank_opened(100);
+        r.bank_opened(110); // second bank, same active interval
+        r.bank_closed(150);
+        assert_eq!(r.active_cycles, 0); // still one bank open
+        r.bank_closed(200);
+        assert_eq!(r.active_cycles, 100);
+        r.bank_opened(300);
+        r.finalize_activity(320);
+        assert_eq!(r.active_cycles, 120);
+    }
+
+    #[test]
+    fn all_idle_tracks_bank_states() {
+        let mut r = rank();
+        assert!(r.all_idle());
+        r.banks[3].state = crate::bank::BankState::Opened { row: 9 };
+        assert!(!r.all_idle());
+    }
+}

@@ -1,0 +1,56 @@
+//! Device-level statistics consumed by reports and the energy model.
+
+use serde::{Deserialize, Serialize};
+
+/// Command and activity counters for one DRAM channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// ACT commands.
+    pub acts: u64,
+    /// Explicit PRE commands (PREab counts once per closed bank).
+    pub pres: u64,
+    /// RD / RDA commands.
+    pub reads: u64,
+    /// WR / WRA commands.
+    pub writes: u64,
+    /// REFab commands (per rank).
+    pub refs: u64,
+    /// RFMab commands (per rank).
+    pub rfms: u64,
+    /// Victim-row refresh pseudo-commands (controller-side mechanisms).
+    pub vrrs: u64,
+    /// Victim rows refreshed while serving RFM commands.
+    pub rfm_victim_rows: u64,
+    /// Aggressors serviced by borrowed refreshes during REFab.
+    pub borrowed_refreshes: u64,
+    /// Cycles with at least one bank open, summed over ranks (background
+    /// energy: active-standby portion).
+    pub active_standby_cycles: u64,
+    /// Cycles with all banks of a rank closed, summed over ranks.
+    pub precharge_standby_cycles: u64,
+    /// Total simulated cycles (memory clock).
+    pub total_cycles: u64,
+}
+
+impl DramStats {
+    /// Row-buffer activations plus preventive activations (VRR internally
+    /// activates the victim row once).
+    pub fn total_activations(&self) -> u64 {
+        self.acts + self.vrrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_include_vrr() {
+        let s = DramStats {
+            acts: 10,
+            vrrs: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.total_activations(), 13);
+    }
+}

@@ -1,0 +1,329 @@
+//! DDR5 timing parameters and the PRAC timing modes of Table 1 / Appendix E.
+//!
+//! All parameters are specified in nanoseconds ([`TimingsNs`]) and resolved
+//! once into command-clock cycles ([`Timings`], tCK = 0.625 ns for
+//! DDR5-3200) by rounding up, mirroring how real controllers program mode
+//! registers.
+
+use serde::{Deserialize, Serialize};
+
+/// Which Table 1 column the device uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingMode {
+    /// DDR5 without PRAC (Table 1 left column; tRC = 47 ns).
+    Baseline,
+    /// DDR5 with PRAC, post-erratum (Table 1 right column; tRC = 52 ns,
+    /// tRAS/tRTP/tWR reduced).
+    Prac,
+    /// The pre-erratum PRAC timings analysed in Appendix E / Table 4:
+    /// tRP and tRC are increased but tRAS, tRTP and tWR are *not* reduced.
+    PracBuggy,
+}
+
+impl TimingMode {
+    /// Whether this mode models a PRAC-enabled device (counter update during
+    /// precharge).
+    pub fn is_prac(self) -> bool {
+        !matches!(self, TimingMode::Baseline)
+    }
+}
+
+impl std::fmt::Display for TimingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TimingMode::Baseline => "baseline",
+            TimingMode::Prac => "prac",
+            TimingMode::PracBuggy => "prac-buggy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Raw DDR5-3200AN timing parameters in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingsNs {
+    /// Command clock period.
+    pub tck: f64,
+    /// ACT → RD/WR to the same bank.
+    pub trcd: f64,
+    /// RD → first data beat (CAS latency).
+    pub tcl: f64,
+    /// WR → first data beat (CAS write latency).
+    pub tcwl: f64,
+    /// PRE → ACT to the same bank.
+    pub trp: f64,
+    /// ACT → PRE to the same bank.
+    pub tras: f64,
+    /// ACT → ACT to the same bank.
+    pub trc: f64,
+    /// RD → PRE to the same bank.
+    pub trtp: f64,
+    /// End of write burst → PRE (write recovery).
+    pub twr: f64,
+    /// ACT → ACT, different bank group.
+    pub trrd_s: f64,
+    /// ACT → ACT, same bank group.
+    pub trrd_l: f64,
+    /// Four-activate window.
+    pub tfaw: f64,
+    /// CAS → CAS, different bank group.
+    pub tccd_s: f64,
+    /// CAS → CAS, same bank group.
+    pub tccd_l: f64,
+    /// End of write burst → RD, different bank group.
+    pub twtr_s: f64,
+    /// End of write burst → RD, same bank group.
+    pub twtr_l: f64,
+    /// Average periodic refresh interval.
+    pub trefi: f64,
+    /// REFab execution time.
+    pub trfc: f64,
+    /// RFM execution time (paper §5: 350 ns, refreshes the four victims of
+    /// one aggressor row per bank).
+    pub trfm: f64,
+    /// Window of normal traffic after a back-off (§3: 180 ns).
+    pub taboact: f64,
+    /// Back-off signal propagation latency after PRE (§3: ≈5 ns).
+    pub talert: f64,
+    /// Refresh window in milliseconds (DDR5: 32 ms).
+    pub trefw_ms: f64,
+}
+
+impl TimingsNs {
+    /// DDR5-3200AN without PRAC (paper Table 1 plus standard bin values).
+    pub fn ddr5_3200an_baseline() -> Self {
+        Self {
+            tck: 0.625,
+            trcd: 13.75,
+            tcl: 13.75,
+            tcwl: 12.5,
+            trp: 15.0,
+            tras: 32.0,
+            trc: 47.0,
+            trtp: 7.5,
+            twr: 30.0,
+            trrd_s: 5.0,
+            trrd_l: 5.0,
+            tfaw: 20.0,
+            tccd_s: 5.0,
+            tccd_l: 5.0,
+            twtr_s: 2.5,
+            twtr_l: 10.0,
+            trefi: 3900.0,
+            trfc: 295.0,
+            trfm: 350.0,
+            taboact: 180.0,
+            talert: 5.0,
+            trefw_ms: 32.0,
+        }
+    }
+
+    /// DDR5-3200AN with PRAC, post-erratum (Table 1 right column).
+    pub fn ddr5_3200an_prac() -> Self {
+        Self {
+            trp: 36.0,
+            tras: 16.0,
+            trc: 52.0,
+            trtp: 5.0,
+            twr: 10.0,
+            ..Self::ddr5_3200an_baseline()
+        }
+    }
+
+    /// Pre-erratum PRAC timings (Appendix E): tRP/tRC raised, but
+    /// tRAS/tRTP/tWR keep their non-PRAC values.
+    pub fn ddr5_3200an_prac_buggy() -> Self {
+        Self {
+            trp: 36.0,
+            trc: 52.0,
+            ..Self::ddr5_3200an_baseline()
+        }
+    }
+
+    /// Parameters for the given [`TimingMode`].
+    pub fn for_mode(mode: TimingMode) -> Self {
+        match mode {
+            TimingMode::Baseline => Self::ddr5_3200an_baseline(),
+            TimingMode::Prac => Self::ddr5_3200an_prac(),
+            TimingMode::PracBuggy => Self::ddr5_3200an_prac_buggy(),
+        }
+    }
+
+    /// Resolves to integral command-clock cycles (rounding up).
+    pub fn resolve(&self) -> Timings {
+        let c = |ns: f64| -> u64 { (ns / self.tck).ceil() as u64 };
+        Timings {
+            tck_ns: self.tck,
+            rcd: c(self.trcd),
+            cl: c(self.tcl),
+            cwl: c(self.tcwl),
+            rp: c(self.trp),
+            ras: c(self.tras),
+            rc: c(self.trc),
+            rtp: c(self.trtp),
+            wr: c(self.twr),
+            rrd_s: c(self.trrd_s),
+            rrd_l: c(self.trrd_l),
+            faw: c(self.tfaw),
+            ccd_s: c(self.tccd_s),
+            ccd_l: c(self.tccd_l),
+            wtr_s: c(self.twtr_s),
+            wtr_l: c(self.twtr_l),
+            refi: c(self.trefi),
+            rfc: c(self.trfc),
+            rfm: c(self.trfm),
+            aboact: c(self.taboact),
+            alert: c(self.talert),
+            refw: c(self.trefw_ms * 1.0e6),
+            bl: 8, // BL16 at double data rate occupies 8 command clocks.
+        }
+    }
+}
+
+/// Timing parameters resolved to command-clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Timings {
+    /// tCK in nanoseconds (for reporting / energy integration).
+    pub tck_ns: f64,
+    /// ACT → RD/WR, same bank.
+    pub rcd: u64,
+    /// Read CAS latency.
+    pub cl: u64,
+    /// Write CAS latency.
+    pub cwl: u64,
+    /// PRE → ACT, same bank.
+    pub rp: u64,
+    /// ACT → PRE, same bank.
+    pub ras: u64,
+    /// ACT → ACT, same bank.
+    pub rc: u64,
+    /// RD → PRE, same bank.
+    pub rtp: u64,
+    /// Write recovery before PRE.
+    pub wr: u64,
+    /// ACT → ACT across bank groups.
+    pub rrd_s: u64,
+    /// ACT → ACT within a bank group.
+    pub rrd_l: u64,
+    /// Four-activate window.
+    pub faw: u64,
+    /// CAS → CAS across bank groups.
+    pub ccd_s: u64,
+    /// CAS → CAS within a bank group.
+    pub ccd_l: u64,
+    /// Write → read turnaround across bank groups.
+    pub wtr_s: u64,
+    /// Write → read turnaround within a bank group.
+    pub wtr_l: u64,
+    /// Refresh interval.
+    pub refi: u64,
+    /// REFab duration.
+    pub rfc: u64,
+    /// RFM duration.
+    pub rfm: u64,
+    /// Normal-traffic window after back-off.
+    pub aboact: u64,
+    /// Alert propagation latency.
+    pub alert: u64,
+    /// Refresh window (32 ms).
+    pub refw: u64,
+    /// Burst length in command clocks (BL16 → 8).
+    pub bl: u64,
+}
+
+impl Timings {
+    /// Resolved timings for a mode, from the standard DDR5-3200AN bin.
+    pub fn for_mode(mode: TimingMode) -> Self {
+        TimingsNs::for_mode(mode).resolve()
+    }
+
+    /// Maximum row activations a single bank can absorb during the window of
+    /// normal traffic (the paper's `A_normal = ⌊tABOACT / tRC⌋`, §8).
+    pub fn a_normal(&self) -> u64 {
+        self.aboact / self.rc
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.tck_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1_left_column() {
+        let t = TimingsNs::ddr5_3200an_baseline();
+        assert_eq!(t.tras, 32.0);
+        assert_eq!(t.trp, 15.0);
+        assert_eq!(t.trc, 47.0);
+        assert_eq!(t.trtp, 7.5);
+        assert_eq!(t.twr, 30.0);
+    }
+
+    #[test]
+    fn prac_matches_table1_right_column() {
+        let t = TimingsNs::ddr5_3200an_prac();
+        assert_eq!(t.tras, 16.0);
+        assert_eq!(t.trp, 36.0);
+        assert_eq!(t.trc, 52.0);
+        assert_eq!(t.trtp, 5.0);
+        assert_eq!(t.twr, 10.0);
+    }
+
+    #[test]
+    fn buggy_mode_keeps_baseline_ras_rtp_wr() {
+        let t = TimingsNs::ddr5_3200an_prac_buggy();
+        assert_eq!(t.tras, 32.0);
+        assert_eq!(t.trtp, 7.5);
+        assert_eq!(t.twr, 30.0);
+        assert_eq!(t.trp, 36.0);
+        assert_eq!(t.trc, 52.0);
+    }
+
+    #[test]
+    fn resolution_rounds_up() {
+        let t = TimingsNs::ddr5_3200an_baseline().resolve();
+        assert_eq!(t.rc, 76); // 47 / 0.625 = 75.2 → 76
+        assert_eq!(t.ras, 52); // 51.2 → 52
+        assert_eq!(t.rp, 24); // exact
+        assert_eq!(t.rcd, 22);
+        assert_eq!(t.refi, 6240);
+        assert_eq!(t.rfm, 560);
+        assert_eq!(t.aboact, 288);
+    }
+
+    #[test]
+    fn prac_increases_row_cycle() {
+        let b = Timings::for_mode(TimingMode::Baseline);
+        let p = Timings::for_mode(TimingMode::Prac);
+        assert!(p.rc > b.rc);
+        assert!(p.rp > b.rp);
+        assert!(p.ras < b.ras);
+    }
+
+    #[test]
+    fn buggy_prac_effective_row_turnaround_is_worse() {
+        // With the bug, ACT→PRE still needs 32 ns and PRE→ACT needs 36 ns,
+        // so the effective row cycle for conflict-heavy access is
+        // tRAS + tRP = 68 ns > 52 ns — the source of the inflated overheads
+        // in the pre-erratum paper (Table 4).
+        let buggy = Timings::for_mode(TimingMode::PracBuggy);
+        let fixed = Timings::for_mode(TimingMode::Prac);
+        assert!(buggy.ras + buggy.rp > fixed.ras + fixed.rp);
+    }
+
+    #[test]
+    fn a_normal_is_three_for_baseline() {
+        // ⌊180 / 47⌋ = 3 with baseline tRC (§8 uses tRC = 47 ns for Chronus).
+        assert_eq!(Timings::for_mode(TimingMode::Baseline).a_normal(), 3);
+    }
+
+    #[test]
+    fn refresh_window_is_32ms() {
+        let t = Timings::for_mode(TimingMode::Baseline);
+        assert_eq!(t.refw, 51_200_000); // 32 ms / 0.625 ns
+    }
+}

@@ -1,0 +1,23 @@
+//! DRAMPower-style DDR5 energy model.
+//!
+//! Current-based accounting in the style of DRAMPower [Chandrasekar+,
+//! DSD'11], over the command counts and background-state residencies the
+//! device collects:
+//!
+//! * ACT/PRE pair: `VDD · (IDD0·tRC − IDD3N·tRAS − IDD2N·(tRC−tRAS))`
+//! * RD / WR burst: `VDD · (IDD4R/W − IDD3N) · tBL`
+//! * REFab: `VDD · (IDD5B − IDD3N) · tRFC`
+//! * preventive refreshes (RFM victims, VRRs, borrowed refreshes): one
+//!   ACT/PRE pair per victim row
+//! * background: `VDD · IDD3N` over active-standby time, `VDD · IDD2N`
+//!   over precharge-standby time
+//!
+//! Mechanism adders follow the paper: PRAC pays an in-array counter
+//! read–modify–write on every precharge; Chronus's counter-subarray
+//! activation adds 19.07 % to each row access (§7.1, SPICE result).
+
+pub mod model;
+pub mod params;
+
+pub use model::{compute, EnergyBreakdown, MechanismEnergy};
+pub use params::EnergyParams;

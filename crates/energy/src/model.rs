@@ -1,0 +1,235 @@
+//! Energy accounting over device statistics.
+
+use chronus_dram::{DramStats, MitigationStats, Timings};
+use serde::{Deserialize, Serialize};
+
+use crate::params::EnergyParams;
+
+/// Mechanism-specific energy adders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct MechanismEnergy {
+    /// Extra energy per in-DRAM counter update (PRAC's precharge-time
+    /// read–modify–write), in pJ.
+    pub per_counter_update_pj: f64,
+    /// Extra energy per row access as a fraction of the ACT/PRE energy
+    /// (Chronus counter subarray: 0.1907, §7.1).
+    pub per_activate_factor: f64,
+}
+
+impl MechanismEnergy {
+    /// PRAC's adder: the counter RMW inside the array, charged per update.
+    pub fn prac() -> Self {
+        Self {
+            // One counter line sense + write-back ≈ a tenth of a full row
+            // cycle's array energy.
+            per_counter_update_pj: 180.0,
+            per_activate_factor: 0.0,
+        }
+    }
+
+    /// Chronus's adder: +19.07 % of row-access energy per activation (§7.1).
+    pub fn chronus() -> Self {
+        Self {
+            per_counter_update_pj: 0.0,
+            per_activate_factor: 0.1907,
+        }
+    }
+}
+
+/// Energy totals in pJ, by component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Demand row activations and precharges.
+    pub act_pre_pj: f64,
+    /// Read bursts.
+    pub read_pj: f64,
+    /// Write bursts.
+    pub write_pj: f64,
+    /// Periodic refresh.
+    pub refresh_pj: f64,
+    /// Preventive refreshes (RFM victims, VRRs, borrowed refreshes).
+    pub preventive_pj: f64,
+    /// Standby background energy.
+    pub background_pj: f64,
+    /// Mechanism adders (counter updates, counter-subarray activations).
+    pub mechanism_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.act_pre_pj
+            + self.read_pj
+            + self.write_pj
+            + self.refresh_pj
+            + self.preventive_pj
+            + self.background_pj
+            + self.mechanism_pj
+    }
+
+    /// Total in millijoules.
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() / 1.0e9
+    }
+}
+
+/// Computes the energy of a simulation run.
+///
+/// `victims_per_service` is twice the blast radius (4 for the paper's
+/// blast radius of 2): borrowed refreshes are charged per victim row.
+pub fn compute(
+    stats: &DramStats,
+    mit: &MitigationStats,
+    t: &Timings,
+    p: &EnergyParams,
+    mech: &MechanismEnergy,
+    victims_per_service: u32,
+) -> EnergyBreakdown {
+    let tras_ns = t.cycles_to_ns(t.ras);
+    let trc_ns = t.cycles_to_ns(t.rc);
+    let tbl_ns = t.cycles_to_ns(t.bl);
+    let trfc_ns = t.cycles_to_ns(t.rfc);
+    let act_pre = p.act_pre_pj(tras_ns, trc_ns);
+    // Preventive refreshes are row activations of victim rows: RFM service
+    // and borrowed refreshes touch `victims_per_service` rows per
+    // aggressor; VRRs are counted per victim row already.
+    let preventive_rows = stats.rfm_victim_rows
+        + stats.vrrs
+        + stats.borrowed_refreshes * victims_per_service as u64;
+    let background = stats.active_standby_cycles as f64 * t.tck_ns * p.background_pj_per_ns(true)
+        + stats.precharge_standby_cycles as f64 * t.tck_ns * p.background_pj_per_ns(false);
+    let mechanism = mit.counter_updates as f64 * mech.per_counter_update_pj
+        + stats.acts as f64 * act_pre * mech.per_activate_factor;
+    EnergyBreakdown {
+        act_pre_pj: stats.acts as f64 * act_pre,
+        read_pj: stats.reads as f64 * p.read_pj(tbl_ns),
+        write_pj: stats.writes as f64 * p.write_pj(tbl_ns),
+        refresh_pj: stats.refs as f64 * p.refresh_pj(trfc_ns),
+        preventive_pj: preventive_rows as f64 * act_pre,
+        background_pj: background,
+        mechanism_pj: mechanism,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_dram::TimingMode;
+
+    fn stats() -> DramStats {
+        DramStats {
+            acts: 1000,
+            pres: 1000,
+            reads: 3000,
+            writes: 1000,
+            refs: 10,
+            rfms: 2,
+            vrrs: 8,
+            rfm_victim_rows: 8,
+            borrowed_refreshes: 3,
+            active_standby_cycles: 500_000,
+            precharge_standby_cycles: 500_000,
+            total_cycles: 500_000,
+        }
+    }
+
+    #[test]
+    fn all_components_positive() {
+        let t = Timings::for_mode(TimingMode::Baseline);
+        let e = compute(
+            &stats(),
+            &MitigationStats::default(),
+            &t,
+            &EnergyParams::default(),
+            &MechanismEnergy::default(),
+            4,
+        );
+        assert!(e.act_pre_pj > 0.0);
+        assert!(e.read_pj > 0.0);
+        assert!(e.write_pj > 0.0);
+        assert!(e.refresh_pj > 0.0);
+        assert!(e.preventive_pj > 0.0);
+        assert!(e.background_pj > 0.0);
+        assert_eq!(e.mechanism_pj, 0.0);
+        assert!(e.total_pj() > 0.0);
+        assert!((e.total_mj() - e.total_pj() / 1e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chronus_adder_is_19_percent_of_act_energy() {
+        let t = Timings::for_mode(TimingMode::Baseline);
+        let p = EnergyParams::default();
+        let base = compute(
+            &stats(),
+            &MitigationStats::default(),
+            &t,
+            &p,
+            &MechanismEnergy::default(),
+            4,
+        );
+        let mit = MitigationStats {
+            counter_updates: 1000,
+            ..Default::default()
+        };
+        let chr = compute(&stats(), &mit, &t, &p, &MechanismEnergy::chronus(), 4);
+        let expect = base.act_pre_pj * 0.1907;
+        assert!((chr.mechanism_pj - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn prac_adder_charges_counter_updates() {
+        let t = Timings::for_mode(TimingMode::Prac);
+        let mit = MitigationStats {
+            counter_updates: 1000,
+            ..Default::default()
+        };
+        let e = compute(
+            &stats(),
+            &mit,
+            &t,
+            &EnergyParams::default(),
+            &MechanismEnergy::prac(),
+            4,
+        );
+        assert!((e.mechanism_pj - 1000.0 * 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prac_timing_mode_raises_act_energy() {
+        let p = EnergyParams::default();
+        let base = compute(
+            &stats(),
+            &MitigationStats::default(),
+            &Timings::for_mode(TimingMode::Baseline),
+            &p,
+            &MechanismEnergy::default(),
+            4,
+        );
+        let prac = compute(
+            &stats(),
+            &MitigationStats::default(),
+            &Timings::for_mode(TimingMode::Prac),
+            &p,
+            &MechanismEnergy::default(),
+            4,
+        );
+        assert!(prac.act_pre_pj > base.act_pre_pj);
+    }
+
+    #[test]
+    fn preventive_rows_counted_fully() {
+        // 8 RFM victims + 8 VRRs + 3 borrowed × 4 victims = 28 row refreshes.
+        let t = Timings::for_mode(TimingMode::Baseline);
+        let p = EnergyParams::default();
+        let e = compute(
+            &stats(),
+            &MitigationStats::default(),
+            &t,
+            &p,
+            &MechanismEnergy::default(),
+            4,
+        );
+        let per_row = p.act_pre_pj(t.cycles_to_ns(t.ras), t.cycles_to_ns(t.rc));
+        assert!((e.preventive_pj - 28.0 * per_row).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,98 @@
+//! Electrical parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-device DDR5 current/voltage parameters (representative 16 Gb x8
+/// device; absolute values scale all results equally — the evaluation
+/// reports energy *normalised* to the unmitigated baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Core supply voltage (V).
+    pub vdd: f64,
+    /// Activate–precharge current (mA).
+    pub idd0: f64,
+    /// Precharge-standby current (mA).
+    pub idd2n: f64,
+    /// Active-standby current (mA).
+    pub idd3n: f64,
+    /// Read burst current (mA).
+    pub idd4r: f64,
+    /// Write burst current (mA).
+    pub idd4w: f64,
+    /// Refresh current (mA).
+    pub idd5b: f64,
+    /// Devices per rank (x8 devices on a 64-bit channel).
+    pub devices_per_rank: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            vdd: 1.1,
+            idd0: 140.0,
+            idd2n: 85.0,
+            idd3n: 110.0,
+            idd4r: 390.0,
+            idd4w: 370.0,
+            idd5b: 280.0,
+            devices_per_rank: 8.0,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Energy (pJ, per rank) of one ACT/PRE pair given `tras`/`trc` in ns.
+    pub fn act_pre_pj(&self, tras_ns: f64, trc_ns: f64) -> f64 {
+        let per_device = self.vdd
+            * (self.idd0 * trc_ns - self.idd3n * tras_ns - self.idd2n * (trc_ns - tras_ns));
+        per_device * self.devices_per_rank
+    }
+
+    /// Energy (pJ, per rank) of one read burst of `tbl_ns`.
+    pub fn read_pj(&self, tbl_ns: f64) -> f64 {
+        self.vdd * (self.idd4r - self.idd3n) * tbl_ns * self.devices_per_rank
+    }
+
+    /// Energy (pJ, per rank) of one write burst of `tbl_ns`.
+    pub fn write_pj(&self, tbl_ns: f64) -> f64 {
+        self.vdd * (self.idd4w - self.idd3n) * tbl_ns * self.devices_per_rank
+    }
+
+    /// Energy (pJ, per rank) of one REFab of `trfc_ns`.
+    pub fn refresh_pj(&self, trfc_ns: f64) -> f64 {
+        self.vdd * (self.idd5b - self.idd3n) * trfc_ns * self.devices_per_rank
+    }
+
+    /// Background power in pJ/ns for the given standby state.
+    /// (mA × V = mW, and 1 mW ≡ 1 pJ/ns.)
+    pub fn background_pj_per_ns(&self, active: bool) -> f64 {
+        let idd = if active { self.idd3n } else { self.idd2n };
+        self.vdd * idd * self.devices_per_rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn act_pre_energy_is_positive_and_grows_with_trc() {
+        let p = EnergyParams::default();
+        let base = p.act_pre_pj(32.0, 47.0);
+        let prac = p.act_pre_pj(16.0, 52.0);
+        assert!(base > 0.0);
+        assert!(prac > base, "longer tRC costs more energy");
+    }
+
+    #[test]
+    fn read_costs_more_than_write() {
+        let p = EnergyParams::default();
+        assert!(p.read_pj(5.0) > p.write_pj(5.0));
+    }
+
+    #[test]
+    fn refresh_dwarfs_single_activation() {
+        let p = EnergyParams::default();
+        assert!(p.refresh_pj(295.0) > p.act_pre_pj(32.0, 47.0));
+    }
+}

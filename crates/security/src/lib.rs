@@ -1,0 +1,33 @@
+//! Analytical security models for RFM / PRAC / Chronus.
+//!
+//! This crate reproduces §5, §8, §11 and Appendix D of the paper with no
+//! simulation dependency:
+//!
+//! * [`wave`] — the wave (feinting) attack against PRFM (Eq. 1) and PRAC-N
+//!   (Eq. 2), as both closed-form recurrences and an independent discrete
+//!   attack simulator used to cross-check them.
+//! * [`sweep`] — the configuration sweeps behind Fig. 3a/3b and the
+//!   secure-threshold search used to configure every mechanism for a given
+//!   `N_RH`.
+//! * [`bounds`] — Chronus's security bound (§8), the Aggressor Tracking
+//!   Table sizing argument, and the §11 / Appendix D maximum
+//!   DRAM-bandwidth-consumption results.
+//!
+//! ```
+//! use chronus_security::{sweep, wave::WaveTiming};
+//!
+//! // PRAC-4 with the most aggressive back-off threshold tolerates the wave
+//! // attack up to a small maximum hammer count (the paper reports 19,
+//! // making N_RH = 20 the lowest secure threshold).
+//! let t = WaveTiming::prac_default();
+//! let worst = sweep::prac_worst_case(1, 4, 4, &t);
+//! assert!(worst.max_acts < 20);
+//! ```
+
+pub mod bounds;
+pub mod sweep;
+pub mod wave;
+
+pub use bounds::{att_entries, chronus_max_acts, chronus_secure_nbo, dbc_chronus, dbc_prac};
+pub use sweep::{prac_secure_nbo, prac_worst_case, prfm_secure_threshold, prfm_worst_case};
+pub use wave::{prac_wave_max_acts, prfm_wave_max_acts, PracBackOff, WaveTiming};

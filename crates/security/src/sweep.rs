@@ -1,0 +1,248 @@
+//! Configuration sweeps (Fig. 3) and secure-threshold search.
+//!
+//! The paper configures every mechanism "against the wave attack": the
+//! largest threshold whose worst-case achievable activation count stays
+//! below `N_RH`. These searches feed `chronus-core`'s mechanism builders so
+//! the simulated mechanisms run exactly the configurations the paper's
+//! security analysis prescribes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::wave::{prac_wave_max_acts, prfm_wave_max_acts, PracBackOff, WaveTiming};
+
+/// Starting row-set sizes swept in Fig. 3 (2K – 64K) plus smaller sets that
+/// matter for aggressive configurations.
+pub const R1_SWEEP: &[u64] = &[
+    2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16_384, 32_768, 65_536,
+];
+
+/// Worst case over the `R_1` sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorstCase {
+    /// Highest achievable activation count before mitigation.
+    pub max_acts: u64,
+    /// The starting row-set size that achieves it.
+    pub worst_r1: u64,
+}
+
+/// Worst-case wave-attack outcome against PRFM with threshold `rfm_th`.
+pub fn prfm_worst_case(rfm_th: u32, t: &WaveTiming) -> WorstCase {
+    let mut worst = WorstCase {
+        max_acts: 0,
+        worst_r1: R1_SWEEP[0],
+    };
+    for &r1 in R1_SWEEP {
+        let m = prfm_wave_max_acts(rfm_th, r1, t);
+        if m > worst.max_acts {
+            worst = WorstCase {
+                max_acts: m,
+                worst_r1: r1,
+            };
+        }
+    }
+    worst
+}
+
+/// Worst-case wave-attack outcome against PRAC-N.
+pub fn prac_worst_case(nbo: u32, n_ref: u32, n_delay: u32, t: &WaveTiming) -> WorstCase {
+    let cfg = PracBackOff {
+        nbo,
+        n_ref,
+        n_delay,
+    };
+    let mut worst = WorstCase {
+        max_acts: 0,
+        worst_r1: R1_SWEEP[0],
+    };
+    for &r1 in R1_SWEEP {
+        let m = prac_wave_max_acts(cfg, r1, t);
+        if m > worst.max_acts {
+            worst = WorstCase {
+                max_acts: m,
+                worst_r1: r1,
+            };
+        }
+    }
+    worst
+}
+
+/// Largest `RFMth` that keeps the worst-case activation count below `nrh`,
+/// or `None` if even `RFMth = 1` is insecure.
+pub fn prfm_secure_threshold(nrh: u32, t: &WaveTiming) -> Option<u32> {
+    if prfm_worst_case(1, t).max_acts >= nrh as u64 {
+        return None;
+    }
+    // Worst-case count is monotone non-decreasing in the threshold: binary
+    // search the largest secure value.
+    let (mut lo, mut hi) = (1u32, 4096u32);
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if prfm_worst_case(mid, t).max_acts < nrh as u64 {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Largest `N_BO` that keeps PRAC-N's worst case below `nrh`, or `None` if
+/// even `N_BO = 1` is insecure (the paper: PRAC is not securable below
+/// `N_RH = 20`).
+pub fn prac_secure_nbo(nrh: u32, n_ref: u32, n_delay: u32, t: &WaveTiming) -> Option<u32> {
+    if prac_worst_case(1, n_ref, n_delay, t).max_acts >= nrh as u64 {
+        return None;
+    }
+    let (mut lo, mut hi) = (1u32, nrh.max(2));
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if prac_worst_case(mid, n_ref, n_delay, t).max_acts < nrh as u64 {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// One series point of Fig. 3a: max activations vs `RFMth` for each
+/// starting row-set size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3aPoint {
+    /// Bank-activation threshold on the x axis.
+    pub rfm_th: u32,
+    /// Starting row-set size (colour-coded series).
+    pub r1: u64,
+    /// Maximum activations to a single row (y axis).
+    pub max_acts: u64,
+}
+
+/// Regenerates the Fig. 3a sweep.
+pub fn fig3a(t: &WaveTiming) -> Vec<Fig3aPoint> {
+    let thresholds = [2u32, 3, 4, 8, 16, 32, 64, 80, 128, 256];
+    let row_sets = [2048u64, 4096, 8192, 16_384, 32_768, 65_536];
+    let mut out = Vec::new();
+    for &rfm_th in &thresholds {
+        for &r1 in &row_sets {
+            out.push(Fig3aPoint {
+                rfm_th,
+                r1,
+                max_acts: prfm_wave_max_acts(rfm_th, r1, t),
+            });
+        }
+    }
+    out
+}
+
+/// One series point of Fig. 3b: worst-case max activations vs `N_BO` for
+/// each PRAC-N variant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3bPoint {
+    /// Back-off threshold on the x axis.
+    pub nbo: u32,
+    /// PRAC variant (`N_Ref = N_Delay = n`).
+    pub n: u32,
+    /// Worst-case maximum activations over the row-set sweep.
+    pub max_acts: u64,
+    /// The row-set size achieving the worst case.
+    pub worst_r1: u64,
+}
+
+/// Regenerates the Fig. 3b sweep.
+pub fn fig3b(t: &WaveTiming) -> Vec<Fig3bPoint> {
+    let nbos = [1u32, 2, 3, 4, 5, 6, 7, 8, 16, 32, 64, 128, 256];
+    let variants = [1u32, 2, 4];
+    let mut out = Vec::new();
+    for &nbo in &nbos {
+        for &n in &variants {
+            let w = prac_worst_case(nbo, n, n, t);
+            out.push(Fig3bPoint {
+                nbo,
+                n,
+                max_acts: w.max_acts,
+                worst_r1: w.worst_r1,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prac4_is_securable_at_nrh_20() {
+        let t = WaveTiming::prac_default();
+        let nbo = prac_secure_nbo(20, 4, 4, &t);
+        assert!(nbo.is_some(), "paper: PRAC-4 is secure at N_RH = 20");
+    }
+
+    #[test]
+    fn prac_is_not_securable_at_very_low_nrh() {
+        let t = WaveTiming::prac_default();
+        // Below the worst-case wave-attack count even N_BO = 1 fails.
+        let floor = prac_worst_case(1, 4, 4, &t).max_acts as u32;
+        assert!(prac_secure_nbo(floor, 4, 4, &t).is_none());
+    }
+
+    #[test]
+    fn secure_nbo_grows_with_nrh() {
+        let t = WaveTiming::prac_default();
+        let mut prev = 0;
+        for nrh in [32u32, 64, 128, 256, 512, 1024] {
+            let nbo = prac_secure_nbo(nrh, 4, 4, &t).expect("securable");
+            assert!(nbo >= prev, "nbo not monotone at nrh={nrh}");
+            prev = nbo;
+        }
+        assert!(prev > 64, "high N_RH should allow a relaxed threshold");
+    }
+
+    #[test]
+    fn secure_threshold_is_actually_secure_and_maximal() {
+        let t = WaveTiming::prac_default();
+        for nrh in [64u32, 256, 1024] {
+            let nbo = prac_secure_nbo(nrh, 4, 4, &t).unwrap();
+            assert!(prac_worst_case(nbo, 4, 4, &t).max_acts < nrh as u64);
+            assert!(prac_worst_case(nbo + 1, 4, 4, &t).max_acts >= nrh as u64);
+        }
+    }
+
+    #[test]
+    fn prfm_secure_threshold_for_low_nrh_is_small() {
+        let t = WaveTiming::baseline_default();
+        // Fig. 3a: preventing bitflips at N_RH ≈ 32 needs RFMth < 4.
+        let th = prfm_secure_threshold(32, &t).expect("securable");
+        assert!(th <= 8, "got {th}");
+        let th_1k = prfm_secure_threshold(1024, &t).expect("securable");
+        assert!(th_1k > th);
+    }
+
+    #[test]
+    fn fig3a_has_full_grid() {
+        let pts = fig3a(&WaveTiming::baseline_default());
+        assert_eq!(pts.len(), 10 * 6);
+        // Larger row sets never reduce the achievable count at fixed th.
+        let at = |th: u32, r1: u64| {
+            pts.iter()
+                .find(|p| p.rfm_th == th && p.r1 == r1)
+                .unwrap()
+                .max_acts
+        };
+        assert!(at(256, 65_536) >= at(256, 2048) || at(256, 2048) > 1000);
+    }
+
+    #[test]
+    fn fig3b_prac4_dominates_prac1() {
+        let pts = fig3b(&WaveTiming::prac_default());
+        for nbo in [1u32, 4, 16, 64] {
+            let get = |n: u32| {
+                pts.iter()
+                    .find(|p| p.nbo == nbo && p.n == n)
+                    .unwrap()
+                    .max_acts
+            };
+            assert!(get(4) <= get(1), "PRAC-4 should dominate at nbo={nbo}");
+        }
+    }
+}

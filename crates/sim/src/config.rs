@@ -1,0 +1,107 @@
+//! Simulation configuration (Table 2 defaults).
+
+use chronus_core::MechanismKind;
+use chronus_cpu::{CacheConfig, CoreConfig};
+use chronus_ctrl::AddressMapping;
+use chronus_dram::{Geometry, TimingMode};
+
+/// Everything needed to build a [`crate::System`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of cores (and traces).
+    pub num_cores: usize,
+    /// Instructions each core must retire.
+    pub instructions_per_core: u64,
+    /// RowHammer threshold the mechanism is configured for.
+    pub nrh: u32,
+    /// The mitigation mechanism under test.
+    pub mechanism: MechanismKind,
+    /// Force the mechanism threshold (PRAC/Chronus `N_BO`, PRFM `RFMth`)
+    /// instead of deriving the secure value — ablations and
+    /// paper-published configurations.
+    pub threshold_override: Option<u32>,
+    /// Address mapping; `None` uses the mechanism's preferred mapping
+    /// (MOP, or ABACuS-MOP for ABACuS).
+    pub mapping: Option<AddressMapping>,
+    /// Override the timing mode (Table 4 uses `PracBuggy`); `None` uses
+    /// the mechanism's mode.
+    pub timing_override: Option<TimingMode>,
+    /// LLC configuration.
+    pub llc: CacheConfig,
+    /// Core configuration.
+    pub core: CoreConfig,
+    /// DRAM geometry.
+    pub geometry: Geometry,
+    /// Attach the ground-truth disturbance oracle (slower; used by the
+    /// security harness).
+    pub oracle: bool,
+    /// Panic on any DRAM timing violation (tests); off for speed in
+    /// harness runs.
+    pub strict_timing: bool,
+    /// RNG seed (PARA and workload placement).
+    pub seed: u64,
+    /// Safety limit on memory cycles (0 = none).
+    pub max_mem_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's four-core configuration (Table 2).
+    pub fn four_core() -> Self {
+        Self {
+            num_cores: 4,
+            instructions_per_core: 100_000,
+            nrh: 1024,
+            mechanism: MechanismKind::None,
+            threshold_override: None,
+            mapping: None,
+            timing_override: None,
+            llc: CacheConfig::default(),
+            core: CoreConfig::default(),
+            geometry: Geometry::ddr5(),
+            oracle: false,
+            strict_timing: false,
+            seed: 1,
+            max_mem_cycles: 0,
+        }
+    }
+
+    /// Single-core configuration (Fig. 7).
+    pub fn single_core() -> Self {
+        Self {
+            num_cores: 1,
+            ..Self::four_core()
+        }
+    }
+
+    /// The Appendix E eight-core configuration: eight cores over the 4.5×
+    /// larger LLC of [Kim+, CAL'25].
+    pub fn eight_core_large_llc() -> Self {
+        Self {
+            num_cores: 8,
+            llc: CacheConfig::large_kim25(),
+            ..Self::four_core()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_core_matches_table2() {
+        let c = SimConfig::four_core();
+        assert_eq!(c.num_cores, 4);
+        assert_eq!(c.llc.capacity, 8 << 20);
+        assert_eq!(c.core.window, 128);
+        assert_eq!(c.core.width, 4);
+        assert_eq!(c.geometry.total_banks(), 64);
+    }
+
+    #[test]
+    fn eight_core_uses_large_cache() {
+        let c = SimConfig::eight_core_large_llc();
+        assert_eq!(c.num_cores, 8);
+        assert_eq!(c.llc.capacity, 36 << 20);
+    }
+}

@@ -1,0 +1,70 @@
+//! Parallel experiment execution over the local cores.
+//!
+//! The paper's artifact farms ~500 Ramulator jobs onto a Slurm cluster;
+//! here a crossbeam-scoped worker pool runs the (workload × mechanism ×
+//! N_RH) grid on the local machine.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on `threads` worker threads, preserving input
+/// order in the output.
+pub fn run_parallel<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let n = items.len();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().expect("work slot").take().expect("taken once");
+                let r = f(item);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("result mutex").expect("result set"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = run_parallel((0..100).collect(), 8, |x: i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_single_threaded() {
+        let out = run_parallel(vec!["a", "bb", "ccc"], 1, |s: &str| s.len());
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = run_parallel(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = run_parallel(vec![1, 2], 16, |x: i32| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

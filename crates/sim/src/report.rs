@@ -1,0 +1,103 @@
+//! Simulation results.
+
+use chronus_ctrl::{CtrlMitigationStats, CtrlStats};
+use chronus_dram::{DramStats, MitigationStats};
+use chronus_energy::EnergyBreakdown;
+use serde::Serialize;
+
+/// Everything a run produces.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Configured RowHammer threshold.
+    pub nrh: u32,
+    /// Whether the configuration is wave-attack secure.
+    pub secure: bool,
+    /// Memory-controller cycles simulated.
+    pub mem_cycles: u64,
+    /// CPU cycles simulated.
+    pub cpu_cycles: u64,
+    /// Per-core IPC at the moment each core reached its target.
+    pub ipc: Vec<f64>,
+    /// Per-core retired instruction counts.
+    pub retired: Vec<u64>,
+    /// Device statistics.
+    pub dram: DramStats,
+    /// Controller statistics.
+    pub ctrl: CtrlStats,
+    /// On-die mechanism statistics.
+    pub dram_mitigation: MitigationStats,
+    /// Controller-side mechanism statistics.
+    pub ctrl_mitigation: CtrlMitigationStats,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Highest per-aggressor activation count the oracle observed, if the
+    /// oracle was attached.
+    pub oracle_max_acts: Option<u32>,
+    /// Would-be bitflip events the oracle counted.
+    pub oracle_flips: Option<u64>,
+    /// True if the run hit the safety cycle limit before all cores
+    /// finished.
+    pub truncated: bool,
+}
+
+impl SimReport {
+    /// Sum of retired instructions.
+    pub fn total_instructions(&self) -> u64 {
+        self.retired.iter().sum()
+    }
+
+    /// Raw weighted speedup against per-core alone-IPCs.
+    pub fn weighted_speedup(&self, ipc_alone: &[f64]) -> f64 {
+        chronus_cpu::weighted_speedup(&self.ipc, ipc_alone)
+    }
+
+    /// Maximum single-application slowdown against alone-IPCs (§11).
+    pub fn max_slowdown(&self, ipc_alone: &[f64]) -> f64 {
+        chronus_cpu::max_slowdown(&self.ipc, ipc_alone)
+    }
+
+    /// Total energy normalised to a baseline report.
+    pub fn energy_normalized_to(&self, baseline: &SimReport) -> f64 {
+        self.energy.total_pj() / baseline.energy.total_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(ipc: Vec<f64>, energy_pj: f64) -> SimReport {
+        SimReport {
+            mechanism: "test".into(),
+            nrh: 1024,
+            secure: true,
+            mem_cycles: 100,
+            cpu_cycles: 262,
+            ipc,
+            retired: vec![10, 20],
+            dram: DramStats::default(),
+            ctrl: CtrlStats::default(),
+            dram_mitigation: MitigationStats::default(),
+            ctrl_mitigation: CtrlMitigationStats::default(),
+            energy: EnergyBreakdown {
+                act_pre_pj: energy_pj,
+                ..Default::default()
+            },
+            oracle_max_acts: None,
+            oracle_flips: None,
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn helpers_compose() {
+        let r = dummy(vec![1.0, 2.0], 500.0);
+        assert_eq!(r.total_instructions(), 30);
+        assert!((r.weighted_speedup(&[2.0, 2.0]) - 1.5).abs() < 1e-12);
+        assert!((r.max_slowdown(&[2.0, 2.0]) - 0.5).abs() < 1e-12);
+        let base = dummy(vec![1.0, 2.0], 1000.0);
+        assert!((r.energy_normalized_to(&base) - 0.5).abs() < 1e-12);
+    }
+}

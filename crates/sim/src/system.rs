@@ -1,0 +1,320 @@
+//! System assembly and the main simulation loop.
+
+use std::collections::HashMap;
+
+use chronus_core::MechanismKind;
+use chronus_cpu::{CoreState, SharedLlc, SimpleO3Core, Trace, UncoreRequest};
+use chronus_ctrl::{CtrlConfig, MemRequest, MemoryController, ReqKind};
+use chronus_dram::{DramConfig, DramDevice};
+use chronus_energy::{EnergyParams, MechanismEnergy};
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+
+/// CPU cycles per `CLOCK_MEM` memory cycles: 4.2 GHz / 1.6 GHz = 21 / 8.
+const CLOCK_CPU: u64 = 21;
+const CLOCK_MEM: u64 = 8;
+
+/// A fully wired simulation instance.
+pub struct System {
+    cfg: SimConfig,
+    dram: DramDevice,
+    ctrl: MemoryController,
+    llc: SharedLlc,
+    mechanism_label: String,
+    secure: bool,
+}
+
+impl System {
+    /// Builds the platform for `cfg` (mechanism thresholds are derived
+    /// from the analytical security models).
+    pub fn build(cfg: &SimConfig) -> Self {
+        let setup =
+            cfg.mechanism
+                .build_with_threshold(cfg.nrh, cfg.geometry, cfg.seed, cfg.threshold_override);
+        let timing_mode = cfg.timing_override.unwrap_or(setup.timing_mode);
+        let mut dram_cfg = DramConfig::with_mode(timing_mode);
+        dram_cfg.geometry = cfg.geometry;
+        dram_cfg.strict = cfg.strict_timing;
+        if cfg.oracle {
+            dram_cfg.oracle_nrh = Some(cfg.nrh);
+        }
+        let dram = DramDevice::with_mitigation(dram_cfg, setup.dram_mitigation);
+        let ctrl_cfg = CtrlConfig {
+            mapping: cfg
+                .mapping
+                .unwrap_or_else(|| cfg.mechanism.preferred_mapping()),
+            rfm_policy: setup.rfm_policy,
+            raa_threshold: setup.raa_threshold,
+            ..CtrlConfig::default()
+        };
+        let ctrl = MemoryController::with_mitigation(ctrl_cfg, &dram, setup.ctrl_mitigation);
+        let llc = SharedLlc::new(cfg.llc);
+        Self {
+            cfg: cfg.clone(),
+            dram,
+            ctrl,
+            llc,
+            mechanism_label: cfg.mechanism.label().to_string(),
+            secure: setup.secure,
+        }
+    }
+
+    /// Runs `traces` (one per core) until every core retires its target,
+    /// then returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of traces does not match `num_cores`.
+    pub fn run(mut self, traces: Vec<Trace>) -> SimReport {
+        assert_eq!(
+            traces.len(),
+            self.cfg.num_cores,
+            "need one trace per core"
+        );
+        let mapping = self.ctrl.config().mapping;
+        let geo = *self.dram.geometry();
+        let llc_hit_latency = self.cfg.llc.hit_latency;
+        let mut cores: Vec<SimpleO3Core> = traces
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                SimpleO3Core::new(
+                    i as u8,
+                    self.cfg.core,
+                    t,
+                    self.cfg.instructions_per_core,
+                    llc_hit_latency,
+                )
+            })
+            .collect();
+
+        let mut mem_cycle: u64 = 0;
+        let mut cpu_cycle: u64 = 0;
+        let mut cpu_credit: u64 = 0;
+        let mut next_req_id: u64 = 1;
+        // req id → (line address, uncached) for fill routing.
+        let mut inflight: HashMap<u64, (u64, bool)> = HashMap::new();
+        let mut completions = Vec::new();
+        let mut truncated = false;
+
+        loop {
+            // --- memory domain ---
+            self.ctrl.tick(&mut self.dram, mem_cycle);
+            completions.clear();
+            self.ctrl.drain_completions(mem_cycle, &mut completions);
+            for c in &completions {
+                if let Some((line, uncached)) = inflight.remove(&c.id) {
+                    let fill = self.llc.on_fill(line, uncached);
+                    for token in fill.waiters {
+                        let core = SimpleO3Core::token_core(token) as usize;
+                        cores[core].on_mem_complete(token, cpu_cycle);
+                    }
+                    if let Some(victim) = fill.writeback {
+                        let addr = mapping.decode(victim, &geo);
+                        // Writebacks are controller-internal; a full write
+                        // queue simply retries next cycle via the outbox
+                        // path below (we re-queue through the LLC outbox).
+                        if !self.ctrl.push_request(MemRequest {
+                            id: 0,
+                            kind: ReqKind::Write,
+                            addr,
+                            core: chronus_ctrl::request::INTERNAL_CORE,
+                            arrived: mem_cycle,
+                        }) {
+                            // Drop-retry: push back into the outbox.
+                            self.llc_push_writeback(victim);
+                        }
+                    }
+                }
+            }
+            // Forward LLC misses/writebacks to the controller.
+            while let Some(req) = self.llc.peek_request() {
+                let kind = if req.write {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                if !self.ctrl.can_accept(kind) {
+                    break;
+                }
+                let req: UncoreRequest = *req;
+                self.llc.pop_request();
+                let id = next_req_id;
+                next_req_id += 1;
+                let addr = mapping.decode(req.line_addr, &geo);
+                let accepted = self.ctrl.push_request(MemRequest {
+                    id,
+                    kind,
+                    addr,
+                    core: 0,
+                    arrived: mem_cycle,
+                });
+                debug_assert!(accepted);
+                if !req.write {
+                    inflight.insert(id, (req.line_addr, req.uncached));
+                }
+            }
+
+            // --- CPU domain (21 CPU cycles per 8 memory cycles) ---
+            cpu_credit += CLOCK_CPU;
+            while cpu_credit >= CLOCK_MEM {
+                cpu_credit -= CLOCK_MEM;
+                for core in cores.iter_mut() {
+                    core.tick(cpu_cycle, &mut self.llc);
+                }
+                cpu_cycle += 1;
+            }
+
+            mem_cycle += 1;
+            if cores.iter().all(|c| c.state() == CoreState::Done) {
+                break;
+            }
+            if self.cfg.max_mem_cycles > 0 && mem_cycle >= self.cfg.max_mem_cycles {
+                truncated = true;
+                break;
+            }
+        }
+
+        self.dram.finalize(mem_cycle);
+        let mech_energy = match self.cfg.mechanism {
+            MechanismKind::Prac1
+            | MechanismKind::Prac2
+            | MechanismKind::Prac4
+            | MechanismKind::PracPrfm => MechanismEnergy::prac(),
+            MechanismKind::Chronus | MechanismKind::ChronusPb => MechanismEnergy::chronus(),
+            _ => MechanismEnergy::default(),
+        };
+        let energy = chronus_energy::compute(
+            self.dram.stats(),
+            &self.dram.mitigation_stats(),
+            self.dram.timings(),
+            &EnergyParams::default(),
+            &mech_energy,
+            2 * self.dram.config().blast_radius,
+        );
+        SimReport {
+            mechanism: self.mechanism_label,
+            nrh: self.cfg.nrh,
+            secure: self.secure,
+            mem_cycles: mem_cycle,
+            cpu_cycles: cpu_cycle,
+            ipc: cores.iter().map(|c| c.ipc(cpu_cycle)).collect(),
+            retired: cores.iter().map(|c| c.retired()).collect(),
+            dram: *self.dram.stats(),
+            ctrl: *self.ctrl.stats(),
+            dram_mitigation: self.dram.mitigation_stats(),
+            ctrl_mitigation: self.ctrl.mitigation_stats(),
+            energy,
+            oracle_max_acts: self.dram.oracle().map(|o| o.max_aggressor_acts()),
+            oracle_flips: self.dram.oracle().map(|o| o.flips()),
+            truncated,
+        }
+    }
+
+    fn llc_push_writeback(&mut self, _line: u64) {
+        // Writeback retry is best-effort: losing a modelled writeback only
+        // under-counts write traffic in an already-saturated queue state.
+    }
+}
+
+/// Runs one application alone on the unmitigated baseline and returns its
+/// IPC (the `IPC_alone` of the weighted-speedup metric).
+pub fn alone_ipc(trace: Trace, base_cfg: &SimConfig) -> f64 {
+    let mut cfg = base_cfg.clone();
+    cfg.num_cores = 1;
+    cfg.mechanism = MechanismKind::None;
+    cfg.oracle = false;
+    let report = System::build(&cfg).run(vec![trace]);
+    report.ipc[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus_workloads::synthetic_app;
+
+    fn quick_cfg(mech: MechanismKind, nrh: u32) -> SimConfig {
+        let mut cfg = SimConfig::single_core();
+        cfg.instructions_per_core = 20_000;
+        cfg.mechanism = mech;
+        cfg.nrh = nrh;
+        cfg
+    }
+
+    fn trace_for(name: &str, slot: u64) -> Trace {
+        synthetic_app(name, slot).unwrap().generate(25_000, 3)
+    }
+
+    #[test]
+    fn baseline_single_core_completes() {
+        let cfg = quick_cfg(MechanismKind::None, 1024);
+        let r = System::build(&cfg).run(vec![trace_for("429.mcf", 0)]);
+        assert!(!r.truncated);
+        assert!(r.retired[0] >= 20_000);
+        assert!(r.ipc[0] > 0.0);
+        assert!(r.dram.acts > 0);
+        assert!(r.dram.refs > 0, "periodic refresh must run");
+    }
+
+    #[test]
+    fn cpu_clock_leads_memory_clock() {
+        let cfg = quick_cfg(MechanismKind::None, 1024);
+        let r = System::build(&cfg).run(vec![trace_for("470.lbm", 0)]);
+        let ratio = r.cpu_cycles as f64 / r.mem_cycles as f64;
+        assert!((ratio - 2.625).abs() < 0.01, "clock ratio {ratio}");
+    }
+
+    #[test]
+    fn four_core_mix_completes() {
+        let mut cfg = SimConfig::four_core();
+        cfg.instructions_per_core = 10_000;
+        let traces = vec![
+            trace_for("429.mcf", 0),
+            trace_for("470.lbm", 1),
+            trace_for("tpch2", 2),
+            trace_for("511.povray", 3),
+        ];
+        let r = System::build(&cfg).run(traces);
+        assert_eq!(r.ipc.len(), 4);
+        assert!(r.total_instructions() >= 40_000);
+    }
+
+    #[test]
+    fn prac_timing_slows_memory_bound_app() {
+        let base = System::build(&quick_cfg(MechanismKind::None, 1024))
+            .run(vec![trace_for("429.mcf", 0)]);
+        let prac = System::build(&quick_cfg(MechanismKind::Prac4, 1024))
+            .run(vec![trace_for("429.mcf", 0)]);
+        assert!(
+            prac.ipc[0] < base.ipc[0],
+            "PRAC {} !< baseline {}",
+            prac.ipc[0],
+            base.ipc[0]
+        );
+    }
+
+    #[test]
+    fn chronus_is_near_baseline_at_high_nrh() {
+        let base = System::build(&quick_cfg(MechanismKind::None, 1024))
+            .run(vec![trace_for("429.mcf", 0)]);
+        let chronus = System::build(&quick_cfg(MechanismKind::Chronus, 1024))
+            .run(vec![trace_for("429.mcf", 0)]);
+        let slowdown = 1.0 - chronus.ipc[0] / base.ipc[0];
+        assert!(slowdown < 0.02, "Chronus slowdown {slowdown}");
+    }
+
+    #[test]
+    fn max_cycles_truncates() {
+        let mut cfg = quick_cfg(MechanismKind::None, 1024);
+        cfg.max_mem_cycles = 500;
+        let r = System::build(&cfg).run(vec![trace_for("429.mcf", 0)]);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn alone_ipc_positive() {
+        let cfg = quick_cfg(MechanismKind::None, 1024);
+        assert!(alone_ipc(trace_for("tpch2", 0), &cfg) > 0.0);
+    }
+}

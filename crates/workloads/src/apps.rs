@@ -1,0 +1,178 @@
+//! The workload roster: 57 single-core applications drawn from the
+//! paper's five suites (SPEC CPU2006, SPEC CPU2017, TPC, MediaBench,
+//! YCSB), plus the 23 SPEC CPU2017 applications of the Appendix E
+//! eight-core study.
+//!
+//! MPKI values and localities are representative of each application's
+//! published memory characterisation (e.g. [Singh & Awasthi, ICPE'19] for
+//! SPEC 2017); they drive the synthetic generator, not a claim of exact
+//! reproduction. Footprints are sized so high-intensity apps stream far
+//! beyond the 8 MiB LLC.
+
+use crate::profile::AppProfile;
+
+const MIB: u64 = 1 << 20;
+
+/// All 57 single-core applications (14 H, 19 M, 24 L).
+pub fn all_profiles() -> Vec<AppProfile> {
+    let p = |name, mpki, locality, read_ratio, footprint_mib: u64| AppProfile {
+        name,
+        mpki,
+        locality,
+        read_ratio,
+        footprint: footprint_mib * MIB,
+    };
+    vec![
+        // ---- High intensity (RBMPKI ≥ 10) ----
+        p("429.mcf", 55.0, 0.15, 0.75, 256),
+        p("505.mcf", 40.0, 0.18, 0.75, 256),
+        p("470.lbm", 35.0, 0.85, 0.55, 192),
+        p("519.lbm", 33.0, 0.85, 0.55, 192),
+        p("462.libquantum", 30.0, 0.90, 0.80, 128),
+        p("549.fotonik3d", 25.0, 0.80, 0.70, 160),
+        p("459.GemsFDTD", 22.0, 0.75, 0.65, 160),
+        p("434.zeusmp", 18.0, 0.70, 0.60, 128),
+        p("510.parest", 15.0, 0.55, 0.70, 96),
+        p("437.leslie3d", 14.0, 0.75, 0.60, 128),
+        p("483.xalancbmk", 12.0, 0.25, 0.80, 96),
+        p("482.sphinx3", 11.0, 0.50, 0.85, 64),
+        p("471.omnetpp", 10.5, 0.20, 0.70, 96),
+        p("520.omnetpp", 10.0, 0.20, 0.70, 96),
+        // ---- Medium intensity (2 ≤ RBMPKI < 10) ----
+        p("433.milc", 8.0, 0.60, 0.65, 96),
+        p("450.soplex", 7.0, 0.45, 0.75, 64),
+        p("ycsb-a", 7.0, 0.30, 0.55, 128),
+        p("tpch2", 6.0, 0.40, 0.85, 128),
+        p("wc_8443", 6.0, 0.50, 0.70, 64),
+        p("tpch17", 5.0, 0.40, 0.85, 128),
+        p("436.cactusADM", 5.0, 0.65, 0.60, 96),
+        p("wc_map0", 5.0, 0.50, 0.70, 64),
+        p("507.cactuBSSN", 4.5, 0.65, 0.60, 96),
+        p("ycsb-b", 4.0, 0.30, 0.75, 128),
+        p("tpch6", 4.0, 0.45, 0.85, 128),
+        p("473.astar", 4.0, 0.30, 0.80, 48),
+        p("jp2_encode", 3.5, 0.70, 0.55, 48),
+        p("tpcc64", 3.0, 0.35, 0.65, 128),
+        p("ycsb-c", 3.0, 0.30, 0.90, 128),
+        p("ycsb-d", 2.8, 0.30, 0.80, 128),
+        p("403.gcc", 2.5, 0.40, 0.70, 48),
+        p("ycsb-e", 2.4, 0.35, 0.80, 128),
+        p("531.deepsjeng", 2.2, 0.35, 0.75, 32),
+        // ---- Low intensity (RBMPKI < 2) ----
+        p("523.xalancbmk", 1.8, 0.30, 0.80, 48),
+        p("grep_map0", 1.6, 0.55, 0.80, 32),
+        p("481.wrf", 1.5, 0.65, 0.60, 64),
+        p("557.xz", 1.4, 0.45, 0.65, 64),
+        p("401.bzip2", 1.2, 0.55, 0.65, 32),
+        p("jp2_decode", 1.1, 0.70, 0.60, 48),
+        p("502.gcc", 1.0, 0.40, 0.70, 48),
+        p("526.blender", 0.9, 0.55, 0.70, 32),
+        p("500.perlbench", 0.9, 0.40, 0.75, 32),
+        p("447.dealII", 0.8, 0.50, 0.75, 32),
+        p("h264_encode", 0.8, 0.65, 0.60, 32),
+        p("544.nab", 0.7, 0.55, 0.70, 24),
+        p("525.x264", 0.6, 0.65, 0.65, 32),
+        p("464.h264ref", 0.5, 0.65, 0.65, 32),
+        p("445.gobmk", 0.5, 0.40, 0.75, 16),
+        p("458.sjeng", 0.4, 0.40, 0.75, 16),
+        p("541.leela", 0.3, 0.40, 0.75, 16),
+        p("465.tonto", 0.3, 0.50, 0.70, 24),
+        p("444.namd", 0.3, 0.60, 0.70, 24),
+        p("538.imagick", 0.2, 0.60, 0.60, 24),
+        p("456.hmmer", 0.2, 0.55, 0.70, 16),
+        p("h264_decode", 0.6, 0.65, 0.70, 32),
+        p("511.povray", 0.1, 0.50, 0.75, 16),
+        p("548.exchange2", 0.05, 0.40, 0.75, 8),
+    ]
+}
+
+/// The 23 SPEC CPU2017 applications used by the eight-core homogeneous
+/// study (Fig. 14/15, following [Kim+, CAL'25]).
+pub fn eight_core_spec17_profiles() -> Vec<AppProfile> {
+    let p = |name, mpki, locality, read_ratio, footprint_mib: u64| AppProfile {
+        name,
+        mpki,
+        locality,
+        read_ratio,
+        footprint: footprint_mib * MIB,
+    };
+    vec![
+        p("503.bwaves", 9.0, 0.75, 0.65, 128),
+        p("505.mcf", 40.0, 0.18, 0.75, 256),
+        p("507.cactuBSSN", 4.5, 0.65, 0.60, 96),
+        p("508.namd", 0.3, 0.60, 0.70, 24),
+        p("510.parest", 15.0, 0.55, 0.70, 96),
+        p("511.povray", 0.1, 0.50, 0.75, 16),
+        p("519.lbm", 33.0, 0.85, 0.55, 192),
+        p("520.omnetpp", 10.0, 0.20, 0.70, 96),
+        p("521.wrf", 1.5, 0.65, 0.60, 64),
+        p("523.xalancbmk", 1.8, 0.30, 0.80, 48),
+        p("525.x264", 0.6, 0.65, 0.65, 32),
+        p("526.blender", 0.9, 0.55, 0.70, 32),
+        p("527.cam4", 2.0, 0.60, 0.65, 64),
+        p("531.deepsjeng", 2.2, 0.35, 0.75, 32),
+        p("538.imagick", 0.2, 0.60, 0.60, 24),
+        p("541.leela", 0.3, 0.40, 0.75, 16),
+        p("544.nab", 0.7, 0.55, 0.70, 24),
+        p("548.exchange2", 0.05, 0.40, 0.75, 8),
+        p("549.fotonik3d", 25.0, 0.80, 0.70, 160),
+        p("554.roms", 12.0, 0.75, 0.65, 128),
+        p("557.xz", 1.4, 0.45, 0.65, 64),
+        p("500.perlbench", 0.9, 0.40, 0.75, 32),
+        p("502.gcc", 1.0, 0.40, 0.70, 48),
+    ]
+}
+
+/// Looks up a profile by application name.
+pub fn profile_by_name(name: &str) -> Option<AppProfile> {
+    all_profiles()
+        .into_iter()
+        .chain(eight_core_spec17_profiles())
+        .find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::IntensityClass;
+
+    #[test]
+    fn roster_has_57_distinct_apps() {
+        let apps = all_profiles();
+        assert_eq!(apps.len(), 57);
+        let names: std::collections::HashSet<_> = apps.iter().map(|p| p.name).collect();
+        assert_eq!(names.len(), 57, "duplicate names");
+    }
+
+    #[test]
+    fn class_pools_are_well_stocked() {
+        let apps = all_profiles();
+        let count = |c| apps.iter().filter(|p| p.class() == c).count();
+        assert!(count(IntensityClass::High) >= 10);
+        assert!(count(IntensityClass::Medium) >= 10);
+        assert!(count(IntensityClass::Low) >= 10);
+    }
+
+    #[test]
+    fn spec17_roster_has_23_apps() {
+        assert_eq!(eight_core_spec17_profiles().len(), 23);
+    }
+
+    #[test]
+    fn lookup_finds_fig7_apps() {
+        for name in ["429.mcf", "470.lbm", "tpch17", "jp2_encode", "554.roms"] {
+            assert!(profile_by_name(name).is_some(), "{name} missing");
+        }
+        assert!(profile_by_name("not-an-app").is_none());
+    }
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in all_profiles() {
+            assert!(p.mpki > 0.0 && p.mpki < 100.0, "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.locality), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.read_ratio), "{}", p.name);
+            assert!(p.footprint >= 8 * MIB, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The synthetic trace generator.
+//!
+//! Produces a trace whose MPKI, stream/random balance and read/write mix
+//! match an [`AppProfile`]: with probability `locality` the next access
+//! continues a sequential stream (row-buffer friendly under both MOP and
+//! RoBaRaCoCh mappings); otherwise it jumps to a random line in the
+//! footprint (a row miss and, for footprints ≫ LLC, a DRAM access).
+
+use chronus_cpu::{Trace, TraceEntry, TraceOp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::profile_by_name;
+use crate::profile::AppProfile;
+
+/// Generates a trace of roughly `instructions` instructions for `profile`.
+pub fn generate(profile: &AppProfile, instructions: u64, base_addr: u64, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut trace = Trace::new(profile.name);
+    let line = 64u64;
+    let lines_in_footprint = (profile.footprint / line).max(16);
+    let mut stream_pos: u64 = rng.gen_range(0..lines_in_footprint);
+    let mean_bubbles = profile.bubbles_per_op();
+    let mut emitted_insts: u64 = 0;
+    while emitted_insts < instructions {
+        // Jittered bubble count (±50 %) keeps the average on target without
+        // lock-step periodicity.
+        let bubbles = if mean_bubbles == 0 {
+            0
+        } else {
+            let lo = mean_bubbles / 2;
+            let hi = mean_bubbles + mean_bubbles / 2;
+            rng.gen_range(lo..=hi.max(lo + 1))
+        };
+        let addr_line = if rng.gen::<f64>() < profile.locality {
+            stream_pos = (stream_pos + 1) % lines_in_footprint;
+            stream_pos
+        } else {
+            stream_pos = rng.gen_range(0..lines_in_footprint);
+            stream_pos
+        };
+        let addr = base_addr + addr_line * line;
+        let op = if rng.gen::<f64>() < profile.read_ratio {
+            TraceOp::Load(addr)
+        } else {
+            TraceOp::Store(addr)
+        };
+        trace.entries.push(TraceEntry { bubbles, op });
+        emitted_insts += bubbles as u64 + 1;
+    }
+    trace
+}
+
+/// A named-application generator handle.
+#[derive(Debug, Clone)]
+pub struct SyntheticApp {
+    profile: AppProfile,
+    base_addr: u64,
+}
+
+impl SyntheticApp {
+    /// The profile behind this generator.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Generates `instructions` worth of trace with the given seed.
+    pub fn generate(&self, instructions: u64, seed: u64) -> Trace {
+        generate(&self.profile, instructions, self.base_addr, seed)
+    }
+}
+
+/// Looks up `name` in the roster and returns a generator whose addresses
+/// live in the `slot`-th 512 MiB region of physical memory (so
+/// multi-programmed cores do not share data).
+pub fn synthetic_app(name: &str, slot: u64) -> Option<SyntheticApp> {
+    let profile = profile_by_name(name)?;
+    Some(SyntheticApp {
+        profile,
+        base_addr: slot * (512 << 20),
+    })
+}
+
+/// Same slot-based placement for an explicit profile.
+pub fn synthetic_from_profile(profile: AppProfile, slot: u64) -> SyntheticApp {
+    SyntheticApp {
+        profile,
+        base_addr: slot * (512 << 20),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpki_matches_profile() {
+        for name in ["429.mcf", "tpch2", "511.povray"] {
+            let app = synthetic_app(name, 0).unwrap();
+            let t = app.generate(200_000, 1);
+            let target = app.profile().mpki;
+            let got = t.mpki();
+            assert!(
+                (got - target).abs() / target < 0.15,
+                "{name}: mpki {got} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn read_ratio_matches_profile() {
+        let app = synthetic_app("470.lbm", 0).unwrap();
+        let t = app.generate(500_000, 2);
+        let got = t.read_fraction();
+        assert!((got - 0.55).abs() < 0.05, "read fraction {got}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let app = synthetic_app("429.mcf", 0).unwrap();
+        assert_eq!(app.generate(10_000, 7), app.generate(10_000, 7));
+        assert_ne!(app.generate(10_000, 7), app.generate(10_000, 8));
+    }
+
+    #[test]
+    fn slots_separate_address_spaces() {
+        let a = synthetic_app("429.mcf", 0).unwrap().generate(10_000, 1);
+        let b = synthetic_app("429.mcf", 1).unwrap().generate(10_000, 1);
+        let max_a = a.entries.iter().map(|e| e.op.addr()).max().unwrap();
+        let min_b = b.entries.iter().map(|e| e.op.addr()).min().unwrap();
+        assert!(max_a < min_b);
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint() {
+        let app = synthetic_app("456.hmmer", 0).unwrap();
+        let t = app.generate(50_000, 3);
+        let fp = app.profile().footprint;
+        for e in &t.entries {
+            assert!(e.op.addr() < fp);
+        }
+    }
+
+    #[test]
+    fn streaming_app_is_mostly_sequential() {
+        let app = synthetic_app("462.libquantum", 0).unwrap();
+        let t = app.generate(100_000, 4);
+        let seq = t
+            .entries
+            .windows(2)
+            .filter(|w| w[1].op.addr() == w[0].op.addr() + 64)
+            .count();
+        let frac = seq as f64 / (t.entries.len() - 1) as f64;
+        assert!(frac > 0.8, "sequential fraction {frac}");
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic workload generation.
+//!
+//! The paper evaluates memory traces collected from SPEC CPU2006/2017,
+//! TPC, MediaBench and YCSB. Those traces are not redistributable here, so
+//! this crate synthesises statistically similar traces: each of the 57
+//! single-core applications is described by an [`AppProfile`] capturing
+//! the properties the paper's methodology actually keys on — row-buffer
+//! misses per kilo-instruction (the H/M/L grouping of §6), row-buffer
+//! locality, read/write balance, and footprint — and a seeded generator
+//! produces traces with those statistics. See DESIGN.md §1 for why this
+//! substitution preserves the evaluation's shape.
+//!
+//! [`mixes`] builds the 60 four-core mixes (10 each of HHHH, MMMM, LLLL,
+//! HHMM, MMLL, LLHH) and the 23 eight-core homogeneous SPEC2017 workloads
+//! of Appendix E; [`attack`] generates the adversarial patterns of §4 and
+//! §11.
+
+pub mod apps;
+pub mod attack;
+pub mod generator;
+pub mod mixes;
+pub mod profile;
+
+pub use apps::{all_profiles, eight_core_spec17_profiles, profile_by_name};
+pub use attack::{perf_attack_trace, wave_attack_trace};
+pub use generator::synthetic_app;
+pub use mixes::{four_core_mixes, Mix, MixClass};
+pub use profile::{AppProfile, IntensityClass};

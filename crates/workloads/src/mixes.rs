@@ -1,0 +1,149 @@
+//! Multi-programmed workload mixes (§6).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::apps::all_profiles;
+use crate::profile::{AppProfile, IntensityClass};
+
+/// The six four-core mix classes of §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixClass {
+    /// Four high-intensity applications.
+    Hhhh,
+    /// Four medium-intensity applications.
+    Mmmm,
+    /// Four low-intensity applications.
+    Llll,
+    /// Two high, two medium.
+    Hhmm,
+    /// Two medium, two low.
+    Mmll,
+    /// Two low, two high.
+    Llhh,
+}
+
+impl MixClass {
+    /// All six classes in the paper's order.
+    pub fn all() -> [MixClass; 6] {
+        [
+            MixClass::Hhhh,
+            MixClass::Mmmm,
+            MixClass::Llll,
+            MixClass::Hhmm,
+            MixClass::Mmll,
+            MixClass::Llhh,
+        ]
+    }
+
+    /// The per-core intensity pattern.
+    pub fn pattern(&self) -> [IntensityClass; 4] {
+        use IntensityClass::{High as H, Low as L, Medium as M};
+        match self {
+            MixClass::Hhhh => [H, H, H, H],
+            MixClass::Mmmm => [M, M, M, M],
+            MixClass::Llll => [L, L, L, L],
+            MixClass::Hhmm => [H, H, M, M],
+            MixClass::Mmll => [M, M, L, L],
+            MixClass::Llhh => [L, L, H, H],
+        }
+    }
+
+    /// Label such as `"HHHH"`.
+    pub fn label(&self) -> String {
+        self.pattern().iter().map(|c| c.letter()).collect()
+    }
+}
+
+impl std::fmt::Display for MixClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One multi-programmed mix.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Mix {
+    /// Mix name, e.g. `"HHMM-3"`.
+    pub name: String,
+    /// The mix class.
+    pub class: MixClass,
+    /// One profile per core.
+    pub apps: Vec<AppProfile>,
+}
+
+/// Builds the 60 four-core mixes: `per_class` (paper: 10) of each class,
+/// sampled deterministically from the intensity pools.
+pub fn four_core_mixes(per_class: usize, seed: u64) -> Vec<Mix> {
+    let profiles = all_profiles();
+    let pool = |c: IntensityClass| -> Vec<AppProfile> {
+        profiles.iter().copied().filter(|p| p.class() == c).collect()
+    };
+    let pools = [
+        pool(IntensityClass::High),
+        pool(IntensityClass::Medium),
+        pool(IntensityClass::Low),
+    ];
+    let pool_of = |c: IntensityClass| match c {
+        IntensityClass::High => &pools[0],
+        IntensityClass::Medium => &pools[1],
+        IntensityClass::Low => &pools[2],
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for class in MixClass::all() {
+        for i in 0..per_class {
+            let apps: Vec<AppProfile> = class
+                .pattern()
+                .iter()
+                .map(|&c| *pool_of(c).choose(&mut rng).expect("non-empty pool"))
+                .collect();
+            out.push(Mix {
+                name: format!("{}-{}", class.label(), i),
+                class,
+                apps,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixty_mixes_at_paper_scale() {
+        let mixes = four_core_mixes(10, 42);
+        assert_eq!(mixes.len(), 60);
+        for class in MixClass::all() {
+            assert_eq!(mixes.iter().filter(|m| m.class == class).count(), 10);
+        }
+    }
+
+    #[test]
+    fn mixes_respect_their_pattern() {
+        for mix in four_core_mixes(3, 7) {
+            let pattern = mix.class.pattern();
+            assert_eq!(mix.apps.len(), 4);
+            for (app, want) in mix.apps.iter().zip(pattern) {
+                assert_eq!(app.class(), want, "mix {} app {}", mix.name, app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(four_core_mixes(5, 1), four_core_mixes(5, 1));
+        assert_ne!(four_core_mixes(5, 1), four_core_mixes(5, 2));
+    }
+
+    #[test]
+    fn labels_read_like_the_paper() {
+        assert_eq!(MixClass::Hhmm.label(), "HHMM");
+        assert_eq!(MixClass::Llll.label(), "LLLL");
+        assert_eq!(format!("{}", MixClass::Llhh), "LLHH");
+    }
+}

@@ -1,0 +1,90 @@
+//! Application profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory-intensity class (§6: grouped by row-buffer misses per
+/// kilo-instruction; lowest MPKI of 10 / 2 / 0 for H / M / L).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IntensityClass {
+    /// High intensity: RBMPKI ≥ 10.
+    High,
+    /// Medium intensity: 2 ≤ RBMPKI < 10.
+    Medium,
+    /// Low intensity: RBMPKI < 2.
+    Low,
+}
+
+impl IntensityClass {
+    /// Classifies an MPKI value.
+    pub fn of_mpki(mpki: f64) -> Self {
+        if mpki >= 10.0 {
+            IntensityClass::High
+        } else if mpki >= 2.0 {
+            IntensityClass::Medium
+        } else {
+            IntensityClass::Low
+        }
+    }
+
+    /// One-letter label (H/M/L).
+    pub fn letter(&self) -> char {
+        match self {
+            IntensityClass::High => 'H',
+            IntensityClass::Medium => 'M',
+            IntensityClass::Low => 'L',
+        }
+    }
+}
+
+/// Statistical description of one application's memory behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AppProfile {
+    /// Application name (matching the paper's workload roster).
+    pub name: &'static str,
+    /// Target memory operations per kilo-instruction.
+    pub mpki: f64,
+    /// Probability that the next access continues the current sequential
+    /// stream (row-buffer locality proxy).
+    pub locality: f64,
+    /// Fraction of memory operations that are loads.
+    pub read_ratio: f64,
+    /// Working-set size in bytes.
+    pub footprint: u64,
+}
+
+impl AppProfile {
+    /// The intensity class this profile lands in.
+    pub fn class(&self) -> IntensityClass {
+        IntensityClass::of_mpki(self.mpki)
+    }
+
+    /// Average bubbles between memory operations for the target MPKI.
+    pub fn bubbles_per_op(&self) -> u32 {
+        ((1000.0 / self.mpki).round() as u32).saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(IntensityClass::of_mpki(10.0), IntensityClass::High);
+        assert_eq!(IntensityClass::of_mpki(9.99), IntensityClass::Medium);
+        assert_eq!(IntensityClass::of_mpki(2.0), IntensityClass::Medium);
+        assert_eq!(IntensityClass::of_mpki(1.99), IntensityClass::Low);
+    }
+
+    #[test]
+    fn bubbles_inverse_of_mpki() {
+        let p = AppProfile {
+            name: "x",
+            mpki: 10.0,
+            locality: 0.5,
+            read_ratio: 0.7,
+            footprint: 1 << 20,
+        };
+        assert_eq!(p.bubbles_per_op(), 99);
+    }
+}

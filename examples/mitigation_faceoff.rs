@@ -1,0 +1,59 @@
+//! Compares every mechanism on one workload mix at one threshold.
+//!
+//! ```sh
+//! cargo run --release --example mitigation_faceoff -- 64
+//! ```
+//! (the optional argument is N_RH; default 128)
+
+use chronus::core::MechanismKind;
+use chronus::sim::{SimConfig, System};
+use chronus::workloads::synthetic_app;
+
+fn main() {
+    let nrh: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let apps = ["429.mcf", "462.libquantum", "tpch2", "473.astar"];
+    let make_traces = || -> Vec<_> {
+        apps.iter()
+            .enumerate()
+            .map(|(i, name)| {
+                synthetic_app(name, i as u64)
+                    .expect("app in roster")
+                    .generate(40_000, 7)
+            })
+            .collect()
+    };
+
+    let run = |mech: MechanismKind| {
+        let mut cfg = SimConfig::four_core();
+        cfg.instructions_per_core = 30_000;
+        cfg.mechanism = mech;
+        cfg.nrh = nrh;
+        System::build(&cfg).run(make_traces())
+    };
+
+    let baseline = run(MechanismKind::None);
+    let base_ipc: f64 = baseline.ipc.iter().sum();
+    println!("N_RH = {nrh}; baseline IPC sum = {base_ipc:.3}\n");
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>11} {:>8}",
+        "mechanism", "perf", "energy", "back-offs", "prev. rows", "secure"
+    );
+    for &mech in MechanismKind::all() {
+        let r = run(mech);
+        let perf = r.ipc.iter().sum::<f64>() / base_ipc;
+        let energy = r.energy_normalized_to(&baseline);
+        let prev = r.dram.rfm_victim_rows + r.dram.vrrs + r.dram.borrowed_refreshes * 4;
+        println!(
+            "{:<12} {:>9.3} {:>10.3} {:>10} {:>11} {:>8}",
+            r.mechanism,
+            perf,
+            energy,
+            r.ctrl.back_offs,
+            prev,
+            if r.secure { "yes" } else { "NO" }
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! §11 in miniature: one attacker core hammering 8 rows in each of 4
+//! banks next to three benign applications, under PRAC-4 vs Chronus.
+//!
+//! ```sh
+//! cargo run --release --example performance_attack
+//! ```
+
+use chronus::core::MechanismKind;
+use chronus::ctrl::AddressMapping;
+use chronus::dram::Geometry;
+use chronus::sim::{SimConfig, System};
+use chronus::workloads::{perf_attack_trace, synthetic_app};
+
+fn main() {
+    let nrh = 20;
+    let instructions = 30_000u64;
+    let benign = ["470.lbm", "tpch2", "473.astar"];
+    let geo = Geometry::ddr5();
+
+    let traces = |with_attacker: bool| {
+        let mut ts: Vec<_> = benign
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                synthetic_app(name, i as u64)
+                    .expect("app in roster")
+                    .generate(instructions + 5_000, 11)
+            })
+            .collect();
+        if with_attacker {
+            ts.push(perf_attack_trace(
+                AddressMapping::Mop,
+                &geo,
+                4,
+                8,
+                (instructions + 5_000) as usize,
+            ));
+        } else {
+            ts.push(
+                synthetic_app("548.exchange2", 3)
+                    .expect("app in roster")
+                    .generate(instructions + 5_000, 11),
+            );
+        }
+        ts
+    };
+
+    for mech in [MechanismKind::Prac4, MechanismKind::Chronus] {
+        let mut cfg = SimConfig::four_core();
+        cfg.instructions_per_core = instructions;
+        cfg.mechanism = mech;
+        cfg.nrh = nrh;
+        let calm = System::build(&cfg).run(traces(false));
+        let attacked = System::build(&cfg).run(traces(true));
+        let ws = |r: &chronus::sim::SimReport| r.ipc[..3].iter().sum::<f64>();
+        let loss = 1.0 - ws(&attacked) / ws(&calm);
+        println!(
+            "{:<10} N_RH={nrh}: benign WS loss {:5.1}%  (back-offs {}, RFMs {})",
+            mech.label(),
+            loss * 100.0,
+            attacked.ctrl.back_offs,
+            attacked.dram.rfms,
+        );
+    }
+    println!("\nThe paper's theoretical bound: PRAC-4 lets an attacker burn ~94% of");
+    println!("DRAM bandwidth; Chronus caps it at ~32% (§11).");
+}

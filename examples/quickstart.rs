@@ -1,0 +1,51 @@
+//! Quickstart: simulate one four-core mix under Chronus and print a
+//! report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use chronus::core::MechanismKind;
+use chronus::sim::{SimConfig, System};
+use chronus::workloads::synthetic_app;
+
+fn main() {
+    let mut cfg = SimConfig::four_core();
+    cfg.mechanism = MechanismKind::Chronus;
+    cfg.nrh = 1024;
+    cfg.instructions_per_core = 50_000;
+
+    let apps = ["429.mcf", "470.lbm", "tpch2", "511.povray"];
+    let traces: Vec<_> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            synthetic_app(name, i as u64)
+                .expect("app in roster")
+                .generate(60_000, 42)
+        })
+        .collect();
+
+    let report = System::build(&cfg).run(traces);
+
+    println!("mechanism : {} (N_RH = {})", report.mechanism, report.nrh);
+    println!("cycles    : {} mem / {} cpu", report.mem_cycles, report.cpu_cycles);
+    for (i, (app, ipc)) in apps.iter().zip(&report.ipc).enumerate() {
+        println!("core {i}    : {app:<12} IPC = {ipc:.3}");
+    }
+    let d = &report.dram;
+    println!(
+        "dram      : {} ACTs, {} RDs, {} WRs, {} REFs, {} RFMs, {} VRRs",
+        d.acts, d.reads, d.writes, d.refs, d.rfms, d.vrrs
+    );
+    println!(
+        "ctrl      : {} row hits / {} misses / {} conflicts, {} back-offs",
+        report.ctrl.row_hits, report.ctrl.row_misses, report.ctrl.row_conflicts,
+        report.ctrl.back_offs
+    );
+    println!(
+        "mechanism : {} counter updates, {} borrowed refreshes",
+        report.dram_mitigation.counter_updates, report.dram_mitigation.borrowed_refreshes
+    );
+    println!("energy    : {:.3} mJ total", report.energy.total_mj());
+}

@@ -1,0 +1,48 @@
+//! Generates a synthetic trace, prints its statistics, round-trips it
+//! through the text format, and shows where its accesses land in DRAM.
+//!
+//! ```sh
+//! cargo run --release --example trace_inspector -- 429.mcf
+//! ```
+
+use chronus::ctrl::AddressMapping;
+use chronus::cpu::Trace;
+use chronus::dram::Geometry;
+use chronus::workloads::synthetic_app;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "429.mcf".into());
+    let app = synthetic_app(&name, 0).unwrap_or_else(|| {
+        eprintln!("unknown application {name:?}; try 429.mcf, 470.lbm, tpch2, ...");
+        std::process::exit(1);
+    });
+    let trace = app.generate(100_000, 1);
+    println!("trace     : {}", trace.name);
+    println!("entries   : {}", trace.entries.len());
+    println!("instr.    : {}", trace.instructions());
+    println!("MPKI      : {:.2} (target {:.2})", trace.mpki(), app.profile().mpki);
+    println!("read frac : {:.2}", trace.read_fraction());
+
+    // Text round-trip.
+    let mut buf = Vec::new();
+    trace.write_text(&mut buf).expect("in-memory write");
+    let back = Trace::read_text(&buf[..]).expect("parse own output");
+    assert_eq!(back, trace);
+    println!("text fmt  : {} bytes, round-trips OK", buf.len());
+
+    // Bank pressure under the paper's MOP mapping.
+    let geo = Geometry::ddr5();
+    let mut per_bank = vec![0u64; geo.total_banks()];
+    for e in &trace.entries {
+        let a = AddressMapping::Mop.decode(e.op.addr(), &geo);
+        per_bank[a.bank.flat(&geo)] += 1;
+    }
+    let busiest = per_bank.iter().max().copied().unwrap_or(0);
+    let active_banks = per_bank.iter().filter(|&&c| c > 0).count();
+    println!(
+        "banks     : {}/{} touched, busiest bank sees {} accesses",
+        active_banks,
+        geo.total_banks(),
+        busiest
+    );
+}

@@ -1,0 +1,46 @@
+//! Analytical wave-attack exploration (§4–§5): how hard can an attacker
+//! hammer a row under PRFM, PRAC-N and Chronus before its victims are
+//! refreshed?
+//!
+//! ```sh
+//! cargo run --release --example wave_attack_analysis
+//! ```
+
+use chronus::security::sweep::{prac_worst_case, prfm_worst_case};
+use chronus::security::wave::WaveTiming;
+use chronus::security::{chronus_max_acts, chronus_secure_nbo, prac_secure_nbo};
+
+fn main() {
+    let prac_t = WaveTiming::prac_default();
+    let base_t = WaveTiming::baseline_default();
+
+    println!("Wave attack vs PRFM (max ACTs before mitigation):");
+    for th in [4u32, 16, 32, 64, 128] {
+        let w = prfm_worst_case(th, &base_t);
+        println!(
+            "  RFMth = {th:<4} worst case = {:<5} (at |R1| = {})",
+            w.max_acts, w.worst_r1
+        );
+    }
+
+    println!("\nWave attack vs PRAC-N (N_BO = 1):");
+    for n in [1u32, 2, 4] {
+        let w = prac_worst_case(1, n, n, &prac_t);
+        println!("  PRAC-{n}: worst case = {} ACTs", w.max_acts);
+    }
+
+    println!("\nSecure configurations per N_RH:");
+    println!("  N_RH     PRAC-4 N_BO   Chronus N_BO   Chronus bound");
+    for nrh in [20u32, 32, 64, 128, 256, 1024] {
+        let prac = prac_secure_nbo(nrh, 4, 4, &prac_t)
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "none".into());
+        let chronus = chronus_secure_nbo(nrh, 3);
+        let bound = chronus.map(|n| chronus_max_acts(n, 3));
+        println!(
+            "  {nrh:<8} {prac:<13} {:<14} max A(i) = {}",
+            chronus.map(|n| n.to_string()).unwrap_or_else(|| "none".into()),
+            bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # Chronus
+//!
+//! A from-scratch Rust reproduction of *"Chronus: Understanding and Securing
+//! the Cutting-Edge Industry Solutions to DRAM Read Disturbance"*
+//! (HPCA 2025).
+//!
+//! This facade crate re-exports the workspace sub-crates:
+//!
+//! * [`dram`] — cycle-level DDR5 device model (banks, timing, commands,
+//!   the `alert_n` back-off pin, and the on-DRAM-die mitigation hook).
+//! * [`core`] — the paper's contribution: PRAC, Chronus (CCU + Chronus
+//!   Back-Off), PRFM, and the academic baselines Graphene, Hydra, PARA and
+//!   ABACuS, with secure-configuration derivation.
+//! * [`ctrl`] — memory controller: FR-FCFS+Cap scheduling, address mapping,
+//!   refresh, and the RFM/back-off state machine.
+//! * [`cpu`] — trace-driven out-of-order cores and a shared last-level cache.
+//! * [`energy`] — DRAMPower-style energy accounting.
+//! * [`security`] — analytical wave-attack models and secure-threshold
+//!   search (Fig. 3), plus the §11 bandwidth-consumption bounds.
+//! * [`workloads`] — synthetic trace generation standing in for the paper's
+//!   SPEC/TPC/MediaBench/YCSB traces.
+//! * [`sim`] — full-system wiring and parallel experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use chronus::sim::{SimConfig, System};
+//! use chronus::core::MechanismKind;
+//! use chronus::workloads::synthetic_app;
+//!
+//! let mut cfg = SimConfig::four_core();
+//! cfg.mechanism = MechanismKind::Chronus;
+//! cfg.nrh = 1024;
+//! let traces = vec![synthetic_app("429.mcf", 1).unwrap().generate(10_000, 7)];
+//! cfg.num_cores = 1;
+//! let report = System::build(&cfg).run(traces);
+//! assert!(report.total_instructions() >= 10_000);
+//! ```
+pub use chronus_core as core;
+pub use chronus_cpu as cpu;
+pub use chronus_ctrl as ctrl;
+pub use chronus_dram as dram;
+pub use chronus_energy as energy;
+pub use chronus_security as security;
+pub use chronus_sim as sim;
+pub use chronus_workloads as workloads;

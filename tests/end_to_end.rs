@@ -1,0 +1,126 @@
+//! End-to-end integration: every mechanism runs a real mix to completion
+//! and the paper's qualitative orderings hold.
+
+use chronus::core::MechanismKind;
+use chronus::sim::{SimConfig, SimReport, System};
+use chronus::workloads::synthetic_app;
+
+fn traces(n: usize, insts: u64, seed: u64) -> Vec<chronus::cpu::Trace> {
+    let names = ["429.mcf", "462.libquantum", "tpch2", "473.astar"];
+    (0..n)
+        .map(|i| {
+            synthetic_app(names[i % names.len()], i as u64)
+                .unwrap()
+                .generate(insts + insts / 5, seed)
+        })
+        .collect()
+}
+
+fn run(mech: MechanismKind, nrh: u32, insts: u64) -> SimReport {
+    let mut cfg = SimConfig::four_core();
+    cfg.instructions_per_core = insts;
+    cfg.mechanism = mech;
+    cfg.nrh = nrh;
+    cfg.max_mem_cycles = insts * 5000;
+    System::build(&cfg).run(traces(4, insts, 5))
+}
+
+#[test]
+fn every_mechanism_completes_at_every_threshold() {
+    for &mech in MechanismKind::all() {
+        for nrh in [1024u32, 64, 20] {
+            let r = run(mech, nrh, 4_000);
+            assert!(
+                !r.truncated,
+                "{mech} at N_RH={nrh} did not finish (possible livelock)"
+            );
+            assert!(r.total_instructions() >= 16_000, "{mech} at {nrh}");
+            assert!(r.ipc.iter().all(|&i| i > 0.0), "{mech} at {nrh}");
+        }
+    }
+}
+
+#[test]
+fn chronus_dominates_prac_at_low_threshold() {
+    let insts = 12_000;
+    let base = run(MechanismKind::None, 1024, insts);
+    let chronus = run(MechanismKind::Chronus, 20, insts);
+    let prac = run(MechanismKind::Prac4, 20, insts);
+    let ipc = |r: &SimReport| r.ipc.iter().sum::<f64>();
+    assert!(
+        ipc(&chronus) > ipc(&prac),
+        "Chronus {} must beat PRAC-4 {} at N_RH=20",
+        ipc(&chronus),
+        ipc(&prac)
+    );
+    // And Chronus stays close to the unprotected baseline.
+    assert!(ipc(&chronus) / ipc(&base) > 0.9);
+}
+
+#[test]
+fn prac_pays_the_timing_tax_even_at_high_threshold() {
+    let insts = 12_000;
+    let base = run(MechanismKind::None, 1024, insts);
+    let prac = run(MechanismKind::Prac4, 1024, insts);
+    let ipc = |r: &SimReport| r.ipc.iter().sum::<f64>();
+    let overhead = 1.0 - ipc(&prac) / ipc(&base);
+    assert!(
+        overhead > 0.01,
+        "PRAC's Table-1 timing penalty should be visible, got {overhead}"
+    );
+    // §6 observation 2: the penalty is timing-driven, not back-off-driven.
+    assert!(prac.ctrl.back_offs < 10, "unexpected back-off storm");
+}
+
+#[test]
+fn prfm_costs_grow_as_nrh_shrinks() {
+    let insts = 10_000;
+    let hi = run(MechanismKind::Prfm, 1024, insts);
+    let lo = run(MechanismKind::Prfm, 20, insts);
+    assert!(
+        lo.dram.rfms > hi.dram.rfms * 2,
+        "RFM rate must explode: {} vs {}",
+        lo.dram.rfms,
+        hi.dram.rfms
+    );
+    let ipc = |r: &SimReport| r.ipc.iter().sum::<f64>();
+    assert!(ipc(&lo) < ipc(&hi));
+}
+
+#[test]
+fn energy_overhead_ordering_at_high_threshold() {
+    let insts = 10_000;
+    let base = run(MechanismKind::None, 1024, insts);
+    let chronus = run(MechanismKind::Chronus, 1024, insts);
+    let prac = run(MechanismKind::Prac4, 1024, insts);
+    let e_chronus = chronus.energy_normalized_to(&base);
+    let e_prac = prac.energy_normalized_to(&base);
+    // Fig. 10: both cost energy; Chronus costs less than PRAC at 1K.
+    assert!(e_chronus > 1.0, "CCU energy adder must show: {e_chronus}");
+    assert!(e_prac > 1.0);
+    assert!(
+        e_chronus < e_prac,
+        "Chronus {e_chronus} should be cheaper than PRAC {e_prac}"
+    );
+}
+
+#[test]
+fn refresh_debt_is_paid() {
+    let r = run(MechanismKind::None, 1024, 10_000);
+    // At 3.9 µs per REF per rank, a run of N mem cycles owes about
+    // N / 6240 REFs per rank; allow generous slack for postponement.
+    let expected = r.mem_cycles / 6240 * 2; // two ranks
+    assert!(
+        r.dram.refs * 3 >= expected,
+        "refresh starvation: {} REFs vs {} due",
+        r.dram.refs,
+        expected
+    );
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let r = run(MechanismKind::Chronus, 1024, 3_000);
+    let json = serde_json::to_string(&r).expect("SimReport is Serialize");
+    assert!(json.contains("\"mechanism\""));
+}

@@ -1,0 +1,144 @@
+//! Empirical security: run adversarial access patterns against every
+//! secure configuration with the ground-truth disturbance oracle attached
+//! and verify the §8 criterion — no row is ever activated `N_RH` times
+//! before its victims are refreshed.
+
+use chronus::core::MechanismKind;
+use chronus::ctrl::AddressMapping;
+use chronus::dram::{BankId, Geometry};
+use chronus::sim::{SimConfig, SimReport, System};
+use chronus::workloads::attack::double_sided_trace;
+use chronus::workloads::{perf_attack_trace, wave_attack_trace};
+
+fn attack_run(mech: MechanismKind, nrh: u32, trace: chronus::cpu::Trace) -> SimReport {
+    let mut cfg = SimConfig::single_core();
+    cfg.instructions_per_core = trace.instructions().saturating_sub(16);
+    cfg.mechanism = mech;
+    cfg.nrh = nrh;
+    cfg.oracle = true;
+    cfg.max_mem_cycles = 40_000_000;
+    System::build(&cfg).run(vec![trace])
+}
+
+fn geo() -> Geometry {
+    Geometry::ddr5()
+}
+
+#[test]
+fn baseline_is_vulnerable_to_double_sided_hammer() {
+    // Negative control: without mitigation the oracle must observe counts
+    // beyond N_RH.
+    let nrh = 64;
+    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 0), 500, 4_000);
+    let r = attack_run(MechanismKind::None, nrh, t);
+    assert!(
+        r.oracle_max_acts.unwrap() >= nrh,
+        "oracle blind: max acts {}",
+        r.oracle_max_acts.unwrap()
+    );
+    assert!(r.oracle_flips.unwrap() > 0);
+}
+
+#[test]
+fn chronus_bounds_double_sided_hammer() {
+    let nrh = 64;
+    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 0), 500, 6_000);
+    let r = attack_run(MechanismKind::Chronus, nrh, t);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max < nrh, "Chronus let a row reach {max} ≥ {nrh}");
+    assert_eq!(r.oracle_flips.unwrap(), 0);
+    assert!(r.ctrl.back_offs > 0, "the attack must trigger back-offs");
+}
+
+#[test]
+fn prac4_bounds_double_sided_hammer() {
+    let nrh = 64;
+    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(0, 1, 0), 777, 6_000);
+    let r = attack_run(MechanismKind::Prac4, nrh, t);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max < nrh, "PRAC-4 let a row reach {max} ≥ {nrh}");
+    assert_eq!(r.oracle_flips.unwrap(), 0);
+}
+
+#[test]
+fn chronus_survives_the_wave_attack() {
+    let nrh = 64;
+    // More decoys than the ATT can hold, hammered in balanced rounds.
+    let rows: Vec<u32> = (0..32).map(|i| 2000 + i * 8).collect();
+    let t = wave_attack_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 1), &rows, 12_000);
+    let r = attack_run(MechanismKind::Chronus, nrh, t);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max < nrh, "wave attack reached {max} ≥ {nrh}");
+    assert_eq!(r.oracle_flips.unwrap(), 0);
+}
+
+#[test]
+fn prac4_survives_the_wave_attack_at_its_secure_threshold() {
+    let nrh = 64;
+    let rows: Vec<u32> = (0..48).map(|i| 4000 + i * 8).collect();
+    let t = wave_attack_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 2), &rows, 12_000);
+    let r = attack_run(MechanismKind::Prac4, nrh, t);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max < nrh, "wave attack reached {max} ≥ {nrh}");
+}
+
+#[test]
+fn graphene_bounds_the_hammer() {
+    let nrh = 64;
+    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(1, 0, 0), 300, 6_000);
+    let r = attack_run(MechanismKind::Graphene, nrh, t);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max < nrh, "Graphene let a row reach {max} ≥ {nrh}");
+    assert!(r.dram.vrrs > 0, "Graphene must issue victim refreshes");
+}
+
+#[test]
+fn hydra_bounds_the_hammer() {
+    let nrh = 64;
+    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(1, 2, 0), 300, 6_000);
+    let r = attack_run(MechanismKind::Hydra, nrh, t);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max < nrh, "Hydra let a row reach {max} ≥ {nrh}");
+}
+
+#[test]
+fn abacus_bounds_the_hammer() {
+    let nrh = 64;
+    let t = double_sided_trace(
+        AddressMapping::AbacusMop,
+        &geo(),
+        BankId::new(0, 3, 1),
+        300,
+        6_000,
+    );
+    let mut cfg = SimConfig::single_core();
+    cfg.instructions_per_core = t.instructions() - 16;
+    cfg.mechanism = MechanismKind::Abacus;
+    cfg.nrh = nrh;
+    cfg.oracle = true;
+    cfg.max_mem_cycles = 40_000_000;
+    let r = System::build(&cfg).run(vec![t]);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max < nrh, "ABACuS let a row reach {max} ≥ {nrh}");
+}
+
+#[test]
+fn perf_attack_cannot_flip_bits_under_chronus() {
+    let nrh = 32;
+    let t = perf_attack_trace(AddressMapping::Mop, &geo(), 4, 8, 10_000);
+    let r = attack_run(MechanismKind::Chronus, nrh, t);
+    assert_eq!(r.oracle_flips.unwrap(), 0);
+    assert!(r.oracle_max_acts.unwrap() < nrh);
+}
+
+#[test]
+fn chronus_respects_its_section8_bound() {
+    // §8: A(i) ≤ N_BO + A_normal at all times. With N_RH = 64, N_BO = 60
+    // and A_normal = 3, the oracle must never see more than 63.
+    let nrh = 64;
+    let rows: Vec<u32> = (0..8).map(|i| 6000 + i * 16).collect();
+    let t = wave_attack_trace(AddressMapping::Mop, &geo(), BankId::new(1, 1, 1), &rows, 12_000);
+    let r = attack_run(MechanismKind::Chronus, nrh, t);
+    let max = r.oracle_max_acts.unwrap();
+    assert!(max <= 63, "bound violated: {max} > N_BO + A_normal");
+}

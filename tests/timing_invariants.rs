@@ -1,0 +1,85 @@
+//! Timing legality: the controller must never issue a command that
+//! violates a DRAM timing constraint, in any timing mode, under benign or
+//! adversarial traffic. The device's strict checker panics on violation.
+
+use chronus::core::MechanismKind;
+use chronus::ctrl::AddressMapping;
+use chronus::dram::Geometry;
+use chronus::sim::{SimConfig, System};
+use chronus::workloads::{perf_attack_trace, synthetic_app};
+
+fn strict_cfg(mech: MechanismKind, nrh: u32) -> SimConfig {
+    let mut cfg = SimConfig::four_core();
+    cfg.instructions_per_core = 5_000;
+    cfg.mechanism = mech;
+    cfg.nrh = nrh;
+    cfg.strict_timing = true;
+    cfg.max_mem_cycles = 20_000_000;
+    cfg
+}
+
+fn benign_traces(n: usize) -> Vec<chronus::cpu::Trace> {
+    let names = ["429.mcf", "470.lbm", "ycsb-a", "511.povray"];
+    (0..n)
+        .map(|i| {
+            synthetic_app(names[i % names.len()], i as u64)
+                .unwrap()
+                .generate(6_500, 99)
+        })
+        .collect()
+}
+
+#[test]
+fn baseline_timing_is_clean() {
+    let cfg = strict_cfg(MechanismKind::None, 1024);
+    let r = System::build(&cfg).run(benign_traces(4));
+    assert!(!r.truncated);
+}
+
+#[test]
+fn prac_timing_mode_is_clean() {
+    let cfg = strict_cfg(MechanismKind::Prac4, 64);
+    let r = System::build(&cfg).run(benign_traces(4));
+    assert!(!r.truncated);
+}
+
+#[test]
+fn buggy_prac_timing_mode_is_clean() {
+    let mut cfg = strict_cfg(MechanismKind::Prac4, 64);
+    cfg.timing_override = Some(chronus::dram::TimingMode::PracBuggy);
+    let r = System::build(&cfg).run(benign_traces(4));
+    assert!(!r.truncated);
+}
+
+#[test]
+fn chronus_backoff_recovery_is_timing_clean_under_attack() {
+    let mut cfg = strict_cfg(MechanismKind::Chronus, 20);
+    cfg.num_cores = 1;
+    cfg.instructions_per_core = 8_000;
+    let t = perf_attack_trace(AddressMapping::Mop, &Geometry::ddr5(), 4, 8, 9_000);
+    let r = System::build(&cfg).run(vec![t]);
+    assert!(!r.truncated);
+    assert!(r.ctrl.back_offs > 0, "attack should trigger recoveries");
+}
+
+#[test]
+fn prfm_rfm_storm_is_timing_clean() {
+    let mut cfg = strict_cfg(MechanismKind::Prfm, 20);
+    cfg.num_cores = 1;
+    cfg.instructions_per_core = 8_000;
+    let t = perf_attack_trace(AddressMapping::Mop, &Geometry::ddr5(), 4, 8, 9_000);
+    let r = System::build(&cfg).run(vec![t]);
+    assert!(!r.truncated);
+    assert!(r.dram.rfms > 0);
+}
+
+#[test]
+fn para_vrr_storm_is_timing_clean() {
+    let mut cfg = strict_cfg(MechanismKind::Para, 32);
+    cfg.num_cores = 1;
+    cfg.instructions_per_core = 8_000;
+    let t = perf_attack_trace(AddressMapping::Mop, &Geometry::ddr5(), 4, 8, 9_000);
+    let r = System::build(&cfg).run(vec![t]);
+    assert!(!r.truncated);
+    assert!(r.dram.vrrs > 0, "PARA at N_RH=32 refreshes aggressively");
+}
