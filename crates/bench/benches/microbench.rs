@@ -96,7 +96,11 @@ fn bench_trace_generation(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/end_to_end_5k_instr");
     group.sample_size(10);
-    for mech in [MechanismKind::None, MechanismKind::Chronus, MechanismKind::Prac4] {
+    for mech in [
+        MechanismKind::None,
+        MechanismKind::Chronus,
+        MechanismKind::Prac4,
+    ] {
         group.bench_function(mech.label(), |b| {
             b.iter(|| {
                 let mut cfg = SimConfig::single_core();

@@ -98,7 +98,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["mechanism", "N_BO", "wave-secure", "benign WS loss", "back-offs", "RFMs"],
+            &[
+                "mechanism",
+                "N_BO",
+                "wave-secure",
+                "benign WS loss",
+                "back-offs",
+                "RFMs"
+            ],
             &table
         )
     );

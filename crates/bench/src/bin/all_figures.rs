@@ -8,7 +8,15 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let bins_analytical = ["table1", "table2", "table3", "fig3", "fig11", "fig13"];
     let bins_sim = [
-        "fig4", "fig7", "fig8", "fig9", "fig10", "fig12", "table4", "perf_attack", "fig14_15",
+        "fig4",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig12",
+        "table4",
+        "perf_attack",
+        "fig14_15",
     ];
     for bin in bins_analytical {
         println!("\n================ {bin} ================");
@@ -17,7 +25,10 @@ fn main() {
     for bin in bins_sim {
         println!("\n================ {bin} ================");
         if quick {
-            run(bin, &["--instructions", "8000", "--mixes", "1", "--nrh", "1024,32"]);
+            run(
+                bin,
+                &["--instructions", "8000", "--mixes", "1", "--nrh", "1024,32"],
+            );
         } else {
             run(bin, &[]);
         }

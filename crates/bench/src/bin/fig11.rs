@@ -46,7 +46,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["N_RH", "Chronus(DRAM)", "PRAC(DRAM)", "Graphene(CAM)", "Hydra(DRAM+SRAM)", "PRFM(SRAM)"],
+            &[
+                "N_RH",
+                "Chronus(DRAM)",
+                "PRAC(DRAM)",
+                "Graphene(CAM)",
+                "Hydra(DRAM+SRAM)",
+                "PRFM(SRAM)"
+            ],
             &rows
         )
     );

@@ -35,7 +35,10 @@ fn main() {
         single.instructions_per_core = opts.instructions;
         single.mapping = Some(AddressMapping::AbacusMop);
         single.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
-        let ipc_alone: Vec<f64> = traces.iter().map(|t| alone_ipc(t.clone(), &single)).collect();
+        let ipc_alone: Vec<f64> = traces
+            .iter()
+            .map(|t| alone_ipc(t.clone(), &single))
+            .collect();
         let baseline = run(&mix.apps, MechanismKind::None, 1024);
         (mix, ipc_alone, baseline)
     });
@@ -71,7 +74,10 @@ fn main() {
     println!("Fig. 12: Chronus vs ABACuS (ABACuS address mapping), normalized WS");
     println!(
         "{}",
-        format_table(&headers_ref, &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm))
+        format_table(
+            &headers_ref,
+            &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm)
+        )
     );
     if let Some(path) = opts.out {
         write_json(&path, &rows);

@@ -31,10 +31,7 @@ fn main() {
         out.push(r);
     }
     println!("Fig. 13: Chronus (in-DRAM) vs ABACuS (CPU CAM+SRAM) storage");
-    println!(
-        "{}",
-        format_table(&["N_RH", "Chronus", "ABACuS"], &rows)
-    );
+    println!("{}", format_table(&["N_RH", "Chronus", "ABACuS"], &rows));
     println!("(ABACuS is small but lives in expensive CPU storage; Chronus rides DRAM density.)");
     if let Some(path) = opts.out {
         write_json(&path, &out);

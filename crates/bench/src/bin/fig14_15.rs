@@ -20,10 +20,15 @@ fn main() {
     let mut headers = vec!["mechanism".to_string()];
     headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    println!("Fig. 14: PRAC-4 normalized WS, 23 eight-core homogeneous SPEC17 workloads, 36 MiB LLC");
+    println!(
+        "Fig. 14: PRAC-4 normalized WS, 23 eight-core homogeneous SPEC17 workloads, 36 MiB LLC"
+    );
     println!(
         "{}",
-        format_table(&headers_ref, &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm))
+        format_table(
+            &headers_ref,
+            &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm)
+        )
     );
     println!("Fig. 15: PRAC-4 normalized DRAM energy, same setup");
     println!(

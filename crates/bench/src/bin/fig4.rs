@@ -24,7 +24,10 @@ fn main() {
     );
     println!(
         "{}",
-        format_table(&headers_ref, &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm))
+        format_table(
+            &headers_ref,
+            &pivot_geomean(&rows, &opts.nrh_list, |r| r.ws_norm)
+        )
     );
     if let Some(path) = opts.out {
         write_json(&path, &rows);

@@ -1,8 +1,8 @@
 //! Fig. 7: single-core performance of the seven headline mechanisms at
 //! N_RH = 1024 and 32, across the 57-application roster.
 
-use chronus_bench::{format_table, geomean, write_json, HarnessOpts};
 use chronus_bench::runs::sweep_single_core;
+use chronus_bench::{format_table, geomean, write_json, HarnessOpts};
 use chronus_core::MechanismKind;
 use chronus_workloads::all_profiles;
 
@@ -12,7 +12,14 @@ fn main() {
         opts.nrh_list = vec![1024, 32];
     }
     let apps = all_profiles();
-    let rows = sweep_single_core(&apps, MechanismKind::headline(), &opts.nrh_list, &opts, 1, false);
+    let rows = sweep_single_core(
+        &apps,
+        MechanismKind::headline(),
+        &opts.nrh_list,
+        &opts,
+        1,
+        false,
+    );
     for &nrh in &opts.nrh_list {
         println!("\nFig. 7 (N_RH = {nrh}): normalized speedup per application");
         let mut mech_order: Vec<String> = Vec::new();

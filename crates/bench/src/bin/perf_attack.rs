@@ -7,8 +7,8 @@
 
 use chronus_bench::{format_table, geomean, write_json, HarnessOpts};
 use chronus_core::MechanismKind;
-use chronus_ctrl::AddressMapping;
 use chronus_cpu::Trace;
+use chronus_ctrl::AddressMapping;
 use chronus_security::{chronus_secure_nbo, dbc_chronus, dbc_prac};
 use chronus_sim::{run_parallel, SimConfig, System};
 use chronus_workloads::generator::synthetic_from_profile;
@@ -35,7 +35,10 @@ fn main() {
     let prac = dbc_prac(1, 4, 350.0, 52.0);
     let chronus = dbc_chronus(chronus_secure_nbo(20, 3).unwrap(), 350.0, 47.0);
     println!("  PRAC-4 (N_BO=1):      {:.0}%  (paper: 94%)", prac * 100.0);
-    println!("  Chronus (N_BO=16):    {:.0}%  (paper: 32%)", chronus * 100.0);
+    println!(
+        "  Chronus (N_BO=16):    {:.0}%  (paper: 32%)",
+        chronus * 100.0
+    );
 
     // ---- Simulation ----
     // PRAC-4 runs at the paper's published N_BO = 1 (its wave-secure
@@ -120,7 +123,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["mechanism", "N_RH", "avg WS loss", "max WS loss", "max slowdown"],
+            &[
+                "mechanism",
+                "N_RH",
+                "avg WS loss",
+                "max WS loss",
+                "max slowdown"
+            ],
             &table
         )
     );

@@ -1,0 +1,202 @@
+//! Simulator-throughput report: event-driven fast loop vs. the retained
+//! cycle-by-cycle reference loop.
+//!
+//! Measures simulated-memory-cycles per wall-second on an idle-heavy
+//! single-core workload (`511.povray`, where the fast-forward engine
+//! should shine) and a memory-bound one (`429.mcf`, where it must not
+//! regress), plus the wall-clock of one Fig. 3 security-sweep point, and
+//! writes the machine-readable `BENCH_loop.json`.
+//!
+//! ```text
+//! cargo run --release -p chronus-bench --bin perf_report -- \
+//!     --instructions 2000000 --out BENCH_loop.json
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use chronus_bench::{format_table, write_json};
+use chronus_core::MechanismKind;
+use chronus_security::sweep::{fig3a, fig3b};
+use chronus_security::wave::WaveTiming;
+use chronus_sim::{SimConfig, SimReport, System};
+use chronus_workloads::synthetic_app;
+use serde::Serialize;
+
+/// Repetitions per measurement; the fastest is reported.
+const REPS: usize = 3;
+
+#[derive(Debug, Clone, Serialize)]
+struct LoopRow {
+    app: String,
+    kind: String,
+    instructions: u64,
+    mem_cycles: u64,
+    fast_seconds: f64,
+    reference_seconds: f64,
+    fast_cycles_per_sec: f64,
+    reference_cycles_per_sec: f64,
+    speedup: f64,
+    reports_identical: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct PerfReport {
+    rows: Vec<LoopRow>,
+    fig3_point_seconds: f64,
+    idle_heavy_speedup: f64,
+    memory_bound_speedup: f64,
+    meets_idle_target_3x: bool,
+    memory_bound_regression_within_5pct: bool,
+}
+
+fn cfg_for(insts: u64) -> SimConfig {
+    let mut cfg = SimConfig::single_core();
+    cfg.instructions_per_core = insts;
+    cfg.mechanism = MechanismKind::None;
+    cfg.nrh = 1024;
+    cfg.max_mem_cycles = insts.saturating_mul(4_000).max(1 << 22);
+    cfg
+}
+
+fn best_of<F: FnMut() -> SimReport>(mut run: F) -> (f64, SimReport) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let r = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (best, report.expect("at least one repetition"))
+}
+
+fn measure(app: &str, kind: &str, insts: u64, seed: u64) -> LoopRow {
+    let cfg = cfg_for(insts);
+    let trace = || {
+        synthetic_app(app, 0)
+            .expect("known app")
+            .generate(insts + insts / 5, seed)
+    };
+    let (fast_s, fast) = best_of(|| System::build(&cfg).run(vec![trace()]));
+    let (ref_s, naive) = best_of(|| System::build(&cfg).run_reference(vec![trace()]));
+    let identical = fast == naive;
+    assert!(
+        identical,
+        "{app}: fast and reference loops diverged — the equivalence \
+         guarantee is broken, throughput numbers are meaningless"
+    );
+    let fast_cps = fast.mem_cycles as f64 / fast_s;
+    let ref_cps = naive.mem_cycles as f64 / ref_s;
+    LoopRow {
+        app: app.to_string(),
+        kind: kind.to_string(),
+        instructions: insts,
+        mem_cycles: fast.mem_cycles,
+        fast_seconds: fast_s,
+        reference_seconds: ref_s,
+        fast_cycles_per_sec: fast_cps,
+        reference_cycles_per_sec: ref_cps,
+        speedup: fast_cps / ref_cps,
+        reports_identical: identical,
+    }
+}
+
+fn main() {
+    let mut instructions: u64 = 2_000_000;
+    let mut out: Option<PathBuf> = Some(PathBuf::from("BENCH_loop.json"));
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--instructions" => {
+                instructions = args
+                    .next()
+                    .expect("--instructions requires a value")
+                    .parse()
+                    .expect("int");
+            }
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out requires a value"))),
+            "--no-out" => out = None,
+            "--help" | "-h" => {
+                eprintln!(
+                    "perf_report: fast-loop vs reference-loop throughput.\n\
+                     flags: --instructions N --out FILE --no-out"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+
+    // The memory-bound app needs ~20× fewer instructions for similar
+    // wall-clock (its IPC is far lower and every access reaches DRAM).
+    let rows = vec![
+        measure("511.povray", "idle-heavy", instructions, 11),
+        measure("429.mcf", "memory-bound", instructions / 10, 11),
+    ];
+
+    let t0 = Instant::now();
+    let (a, b) = (
+        fig3a(&WaveTiming::baseline_default()),
+        fig3b(&WaveTiming::prac_default()),
+    );
+    let fig3_s = t0.elapsed().as_secs_f64();
+    assert!(!a.is_empty() && !b.is_empty());
+
+    let idle = rows[0].speedup;
+    let membound = rows[1].speedup;
+    let report = PerfReport {
+        fig3_point_seconds: fig3_s,
+        idle_heavy_speedup: idle,
+        memory_bound_speedup: membound,
+        meets_idle_target_3x: idle >= 3.0,
+        memory_bound_regression_within_5pct: membound >= 0.95,
+        rows,
+    };
+
+    let table: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.kind.clone(),
+                format!("{}", r.mem_cycles),
+                format!("{:.2e}", r.fast_cycles_per_sec),
+                format!("{:.2e}", r.reference_cycles_per_sec),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "app",
+                "kind",
+                "mem_cycles",
+                "fast c/s",
+                "ref c/s",
+                "speedup"
+            ],
+            &table
+        )
+    );
+    println!("fig3 single point: {fig3_s:.3}s");
+    println!(
+        "idle-heavy target (>=3x): {} | memory-bound regression (<=5%): {}",
+        if report.meets_idle_target_3x {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if report.memory_bound_regression_within_5pct {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+    );
+    if let Some(path) = out {
+        write_json(&path, &report);
+    }
+}

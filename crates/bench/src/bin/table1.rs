@@ -7,11 +7,13 @@ fn main() {
     let base = TimingsNs::ddr5_3200an_baseline();
     let prac = TimingsNs::ddr5_3200an_prac();
     let buggy = TimingsNs::ddr5_3200an_prac_buggy();
-    let rows = [("tRAS", base.tras, prac.tras, buggy.tras),
+    let rows = [
+        ("tRAS", base.tras, prac.tras, buggy.tras),
         ("tRP", base.trp, prac.trp, buggy.trp),
         ("tRC", base.trc, prac.trc, buggy.trc),
         ("tRTP", base.trtp, prac.trtp, buggy.trtp),
-        ("tWR", base.twr, prac.twr, buggy.twr)];
+        ("tWR", base.twr, prac.twr, buggy.twr),
+    ];
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, b, p, g)| {

@@ -7,13 +7,29 @@ use chronus_core::{decrement, Decrementer};
 fn main() {
     // Exhaustive functional verification.
     for x in 0..=255u8 {
-        assert_eq!(decrement(x), x.wrapping_sub(1), "gate-level mismatch at {x}");
+        assert_eq!(
+            decrement(x),
+            x.wrapping_sub(1),
+            "gate-level mismatch at {x}"
+        );
     }
     let c = Decrementer::instance_census();
     println!("Table 3: gate-level 8-bit decrementer (all 256 inputs verified)");
     let rows = vec![
-        vec!["y0 = !x0".into(), "1".into(), "0".into(), "0".into(), "0".into()],
-        vec!["y1 = x0 ? x1 : !x1".into(), "1".into(), "1".into(), "0".into(), "0".into()],
+        vec![
+            "y0 = !x0".into(),
+            "1".into(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+        ],
+        vec![
+            "y1 = x0 ? x1 : !x1".into(),
+            "1".into(),
+            "1".into(),
+            "0".into(),
+            "0".into(),
+        ],
         vec![
             "y2 = nor(x0,x1) ? !x2 : x2".into(),
             "1".into(),

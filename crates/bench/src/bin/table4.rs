@@ -22,9 +22,7 @@ fn main() {
     let opts = HarnessOpts::from_args("table4");
     let mixes = four_core_mixes(opts.mixes_per_class, opts.seed);
 
-    let run_with = |apps: &[chronus_workloads::AppProfile],
-                    nrh: u32,
-                    mode: Option<TimingMode>| {
+    let run_with = |apps: &[chronus_workloads::AppProfile], nrh: u32, mode: Option<TimingMode>| {
         let mut cfg = SimConfig::four_core();
         cfg.instructions_per_core = opts.instructions;
         cfg.mechanism = MechanismKind::Prac4;

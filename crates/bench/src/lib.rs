@@ -19,7 +19,5 @@ pub mod runs;
 pub mod tables;
 
 pub use opts::HarnessOpts;
-pub use runs::{
-    mix_traces, run_mix, sweep_mixes, sweep_single_core, MixContext, SweepRow,
-};
+pub use runs::{mix_traces, run_mix, sweep_mixes, sweep_single_core, MixContext, SweepRow};
 pub use tables::{format_table, geomean, write_json};

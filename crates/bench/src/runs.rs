@@ -2,8 +2,8 @@
 
 use chronus_core::MechanismKind;
 use chronus_cpu::Trace;
-use chronus_sim::{run_parallel, SimConfig, SimReport, System};
 use chronus_sim::system::alone_ipc;
+use chronus_sim::{run_parallel, SimConfig, SimReport, System};
 use chronus_workloads::{four_core_mixes, generator::synthetic_from_profile, AppProfile, Mix};
 use serde::Serialize;
 
@@ -63,7 +63,12 @@ impl MixContext {
 }
 
 /// Runs a mix under one mechanism.
-pub fn run_mix(apps: &[AppProfile], mech: MechanismKind, nrh: u32, opts: &HarnessOpts) -> SimReport {
+pub fn run_mix(
+    apps: &[AppProfile],
+    mech: MechanismKind,
+    nrh: u32,
+    opts: &HarnessOpts,
+) -> SimReport {
     let mut cfg = SimConfig::four_core();
     cfg.num_cores = apps.len();
     cfg.instructions_per_core = opts.instructions;
@@ -236,8 +241,10 @@ pub fn run_homogeneous(
     cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
     let traces: Vec<Trace> = (0..num_cores)
         .map(|i| {
-            synthetic_from_profile(*app, i as u64)
-                .generate(opts.instructions + opts.instructions / 10, opts.seed ^ i as u64)
+            synthetic_from_profile(*app, i as u64).generate(
+                opts.instructions + opts.instructions / 10,
+                opts.seed ^ i as u64,
+            )
         })
         .collect();
     System::build(&cfg).run(traces)

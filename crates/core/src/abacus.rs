@@ -140,7 +140,11 @@ mod tests {
             a.on_activate(DramAddr::new(BankId::new(0, 0, 0), 5, 0), 0, &mut actions);
         }
         assert!(actions.is_empty());
-        a.on_activate(DramAddr::new(BankId::new(0, 0, 0), 5, 0), 1500, &mut actions);
+        a.on_activate(
+            DramAddr::new(BankId::new(0, 0, 0), 5, 0),
+            1500,
+            &mut actions,
+        );
         assert!(actions.is_empty(), "epoch reset restarted the count");
     }
 }

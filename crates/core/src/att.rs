@@ -87,7 +87,11 @@ impl Att {
 
     /// The entry with the maximum count, without removing it.
     pub fn peek_max(&self) -> Option<(RowId, u32)> {
-        self.entries.iter().flatten().max_by_key(|(_, c)| *c).copied()
+        self.entries
+            .iter()
+            .flatten()
+            .max_by_key(|(_, c)| *c)
+            .copied()
     }
 
     /// Removes and returns the entry with the maximum count (the RFM

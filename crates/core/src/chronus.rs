@@ -141,12 +141,16 @@ impl DramMitigation for ChronusMechanism {
         }
     }
 
-    fn on_periodic_refresh(&mut self, rank: usize, _now: Cycle) -> Vec<(BankId, RowId)> {
+    fn on_periodic_refresh(
+        &mut self,
+        rank: usize,
+        _now: Cycle,
+        serviced: &mut Vec<(BankId, RowId)>,
+    ) {
         self.borrow_toggle[rank] = !self.borrow_toggle[rank];
         if !self.borrow_toggle[rank] {
-            return Vec::new();
+            return;
         }
-        let mut serviced = Vec::new();
         let base = rank * self.geo.banks_per_rank();
         for i in 0..self.geo.banks_per_rank() {
             let flat = base + i;
@@ -156,7 +160,6 @@ impl DramMitigation for ChronusMechanism {
                 serviced.push((BankId::from_flat(flat, &self.geo), row));
             }
         }
-        serviced
     }
 
     fn alert_still_needed(&self, rank: usize) -> bool {
@@ -263,7 +266,8 @@ mod tests {
         m.on_activate(B, 5, 0);
         m.on_activate(B, 5, 1);
         assert!(m.alert_still_needed(0));
-        let serviced = m.on_periodic_refresh(0, 100);
+        let mut serviced = Vec::new();
+        m.on_periodic_refresh(0, 100, &mut serviced);
         assert!(serviced.contains(&(B, 5)));
         assert!(!m.alert_still_needed(0));
     }

@@ -56,8 +56,7 @@ impl MechanismKind {
     pub fn all() -> &'static [MechanismKind] {
         use MechanismKind::*;
         &[
-            Prfm, Prac1, Prac2, Prac4, PracPrfm, Chronus, ChronusPb, Graphene, Hydra, Para,
-            Abacus,
+            Prfm, Prac1, Prac2, Prac4, PracPrfm, Chronus, ChronusPb, Graphene, Hydra, Para, Abacus,
         ]
     }
 
@@ -347,8 +346,12 @@ mod tests {
 
     #[test]
     fn prac_relaxes_at_high_nrh() {
-        let lo = MechanismKind::Prac4.build(64, Geometry::ddr5(), 0).threshold;
-        let hi = MechanismKind::Prac4.build(1024, Geometry::ddr5(), 0).threshold;
+        let lo = MechanismKind::Prac4
+            .build(64, Geometry::ddr5(), 0)
+            .threshold;
+        let hi = MechanismKind::Prac4
+            .build(1024, Geometry::ddr5(), 0)
+            .threshold;
         assert!(hi > lo);
     }
 
@@ -367,7 +370,10 @@ mod tests {
     fn chronus_pb_uses_prac_policy_with_baseline_timing() {
         let s = MechanismKind::ChronusPb.build(128, Geometry::ddr5(), 0);
         assert_eq!(s.timing_mode, TimingMode::Baseline);
-        assert!(matches!(s.rfm_policy, RfmPolicy::PracBackOff { n_ref: 4, .. }));
+        assert!(matches!(
+            s.rfm_policy,
+            RfmPolicy::PracBackOff { n_ref: 4, .. }
+        ));
         // Wave-attack-limited: threshold well below Chronus's.
         let chronus = MechanismKind::Chronus.build(128, Geometry::ddr5(), 0);
         assert!(s.threshold < chronus.threshold);

@@ -42,12 +42,7 @@ impl MisraGries {
         // Table full: if some entry equals the spillover count, replace it;
         // otherwise increment the spillover.
         let spill = self.spillover;
-        if let Some(e) = self
-            .entries
-            .iter_mut()
-            .flatten()
-            .find(|e| e.1 == spill)
-        {
+        if let Some(e) = self.entries.iter_mut().flatten().find(|e| e.1 == spill) {
             *e = (row, spill + 1);
             return spill + 1;
         }

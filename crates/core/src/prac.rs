@@ -83,12 +83,16 @@ impl DramMitigation for PracMechanism {
         }
     }
 
-    fn on_periodic_refresh(&mut self, rank: usize, _now: Cycle) -> Vec<(BankId, RowId)> {
+    fn on_periodic_refresh(
+        &mut self,
+        rank: usize,
+        _now: Cycle,
+        serviced: &mut Vec<(BankId, RowId)>,
+    ) {
         self.borrow_toggle[rank] = !self.borrow_toggle[rank];
         if !self.borrow_toggle[rank] {
-            return Vec::new();
+            return;
         }
-        let mut serviced = Vec::new();
         let base = rank * self.geo.banks_per_rank();
         for i in 0..self.geo.banks_per_rank() {
             let flat = base + i;
@@ -98,7 +102,6 @@ impl DramMitigation for PracMechanism {
                 serviced.push((BankId::from_flat(flat, &self.geo), row));
             }
         }
-        serviced
     }
 
     fn counter_of(&self, bank: BankId, row: RowId) -> Option<u32> {
@@ -167,15 +170,18 @@ mod tests {
     fn borrowed_refresh_fires_every_other_ref() {
         let mut m = mech(100);
         m.on_precharge(B, 7, 0);
-        let first = m.on_periodic_refresh(0, 100);
-        assert_eq!(first.len(), 1);
-        assert_eq!(first[0], (B, 7));
+        let mut serviced = Vec::new();
+        m.on_periodic_refresh(0, 100, &mut serviced);
+        assert_eq!(serviced, vec![(B, 7)]);
         assert_eq!(m.counter_of(B, 7), Some(0));
         m.on_precharge(B, 8, 200);
         // Second REF: toggle off.
-        assert!(m.on_periodic_refresh(0, 300).is_empty());
+        serviced.clear();
+        m.on_periodic_refresh(0, 300, &mut serviced);
+        assert!(serviced.is_empty());
         // Third REF: on again.
-        assert_eq!(m.on_periodic_refresh(0, 400).len(), 1);
+        m.on_periodic_refresh(0, 400, &mut serviced);
+        assert_eq!(serviced.len(), 1);
     }
 
     #[test]

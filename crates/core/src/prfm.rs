@@ -55,8 +55,13 @@ impl DramMitigation for PrfmSampler {
         }
     }
 
-    fn on_periodic_refresh(&mut self, _rank: usize, _now: Cycle) -> Vec<(BankId, RowId)> {
-        Vec::new() // no borrowed refresh without counters
+    fn on_periodic_refresh(
+        &mut self,
+        _rank: usize,
+        _now: Cycle,
+        _serviced: &mut Vec<(BankId, RowId)>,
+    ) {
+        // No borrowed refresh without per-row counters.
     }
 
     fn stats(&self) -> MitigationStats {

@@ -113,8 +113,7 @@ pub fn prfm_storage(geo: &Geometry, nrh: u32) -> StorageBreakdown {
 pub fn abacus_storage(geo: &Geometry, nrh: u32, acts_per_epoch: u64) -> StorageBreakdown {
     let threshold = (nrh / 2).max(1) as u64;
     let entries = acts_per_epoch / threshold + 1;
-    let entry_bits =
-        (row_bits(geo.rows) + counter_bits(nrh)) as u64 + geo.total_banks() as u64;
+    let entry_bits = (row_bits(geo.rows) + counter_bits(nrh)) as u64 + geo.total_banks() as u64;
     StorageBreakdown {
         cam_bits: entries * entry_bits,
         ..Default::default()

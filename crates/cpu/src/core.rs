@@ -42,6 +42,22 @@ pub enum CoreState {
     Done,
 }
 
+/// When the core next makes progress — the contract behind the simulator's
+/// event-driven fast-forward. Whenever the core reports anything other
+/// than [`CoreWake::Busy`], calling [`SimpleO3Core::tick`] before the
+/// reported cycle is guaranteed to be a no-op, so those ticks may be
+/// skipped wholesale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreWake {
+    /// May retire or dispatch on the very next cycle: tick every cycle.
+    Busy,
+    /// Nothing happens before this CPU cycle (head of window becomes
+    /// ready, or a bubble sprint ends).
+    At(u64),
+    /// Stalled until a memory completion arrives; no timed event pending.
+    Blocked,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Slot {
     /// Completes at the given CPU cycle (bubbles, LLC hits).
@@ -65,6 +81,19 @@ pub struct SimpleO3Core {
     finished_at: Option<u64>,
     llc_hit_latency: u32,
     stalled_op: Option<TraceOp>,
+    /// Bubble-sprint horizon: ticks before this cycle are no-ops because a
+    /// closed-form sprint already accounted for them.
+    ff_until: u64,
+    /// First CPU cycle the active sprint covers.
+    sprint_start: u64,
+    /// Instructions the sprint's first cycle retires (later cycles each
+    /// retire a full `width`); kept so un-executed credit can be settled.
+    sprint_first_retire: u64,
+    /// Whether closed-form bubble sprints are allowed. The reference
+    /// simulation loop disables them so its cores execute strictly cycle
+    /// by cycle — which is exactly what lets the equivalence harness catch
+    /// any sprint-math drift.
+    sprint_enabled: bool,
 }
 
 impl SimpleO3Core {
@@ -84,7 +113,48 @@ impl SimpleO3Core {
             finished_at: None,
             llc_hit_latency,
             stalled_op: None,
+            ff_until: 0,
+            sprint_start: 0,
+            sprint_first_retire: 0,
+            sprint_enabled: true,
         }
+    }
+
+    /// Removes retirement credit a sprint granted for cycles that never
+    /// elapsed. The simulation loop calls this once, with the last CPU
+    /// cycle it actually simulated, before reading [`SimpleO3Core::retired`]
+    /// — a run that ends mid-sprint (cycle-limit truncation, or another
+    /// core finishing) must report exactly what the naive loop would have
+    /// retired by that cycle.
+    pub fn settle_retired(&mut self, last_cpu_cycle: u64) {
+        if self.ff_until <= self.sprint_start {
+            return;
+        }
+        let k = self.ff_until - self.sprint_start;
+        let executed = if last_cpu_cycle < self.sprint_start {
+            0
+        } else {
+            (last_cpu_cycle - self.sprint_start + 1).min(k)
+        };
+        if executed == k {
+            return;
+        }
+        let w = self.cfg.width as u64;
+        let credit_of = |cycles: u64| {
+            if cycles == 0 {
+                0
+            } else {
+                self.sprint_first_retire + w * (cycles - 1)
+            }
+        };
+        self.retired -= credit_of(k) - credit_of(executed);
+        self.ff_until = self.sprint_start + executed;
+    }
+
+    /// Enables or disables closed-form bubble sprints (enabled by
+    /// default). With sprints off every cycle is executed naively.
+    pub fn set_sprint_enabled(&mut self, enabled: bool) {
+        self.sprint_enabled = enabled;
     }
 
     /// The core index.
@@ -140,9 +210,107 @@ impl SimpleO3Core {
         }
     }
 
+    /// When this core next makes progress, evaluated after its tick for
+    /// CPU cycle `now`. See [`CoreWake`] for the skip contract.
+    pub fn next_event_cycle(&self, now: u64) -> CoreWake {
+        if now + 1 < self.ff_until {
+            // Mid-sprint: every tick before `ff_until` returns immediately.
+            return CoreWake::At(self.ff_until);
+        }
+        if self.window.len() < self.cfg.window {
+            // Dispatch can make progress (bubbles, a stalled-op retry that
+            // touches LLC state, or a fresh trace entry).
+            return CoreWake::Busy;
+        }
+        match self.window.front() {
+            Some(Slot::WaitingMem(_)) => CoreWake::Blocked,
+            Some(Slot::ReadyAt(at)) if *at > now => CoreWake::At(*at),
+            _ => CoreWake::Busy,
+        }
+    }
+
+    /// Attempts to replace upcoming pure-bubble cycles with a closed-form
+    /// sprint. Called at the end of a tick for cycle `now`; on success the
+    /// next `k` ticks become no-ops (guarded by `ff_until`) and the state
+    /// delta they would have produced is applied immediately.
+    ///
+    /// Preconditions guarantee the skipped cycles are observationally
+    /// identical to naive execution: every window slot is already ready
+    /// (`ReadyAt ≤ now`), and enough bubbles remain that dispatch never
+    /// reaches the stalled memory op. Each skipped cycle then retires
+    /// `min(width, len)` slots and dispatches `width` bubbles, touching
+    /// neither the LLC nor the token counter — so no externally visible
+    /// state can diverge. `k` is additionally held at `≥ ⌈len/width⌉`, so
+    /// the post-sprint window consists purely of sprint-dispatched slots
+    /// and can be reconstructed exactly.
+    fn try_bubble_sprint(&mut self, now: u64) {
+        if !self.sprint_enabled {
+            return;
+        }
+        let w = self.cfg.width as u64;
+        let len = self.window.len() as u64;
+        let min_k = len.div_ceil(w).max(2);
+        if (self.bubbles_left as u64) < min_k * w {
+            return;
+        }
+        if self
+            .window
+            .iter()
+            .any(|s| !matches!(s, Slot::ReadyAt(at) if *at <= now))
+        {
+            return;
+        }
+        // Per sprint cycle: retire min(w, len) (len is constant once ≥ w),
+        // dispatch w. Totals over k cycles:
+        //   len ≥ w: retire w·k, window stays at len slots;
+        //   len < w: retire len + w·(k−1), window settles at w slots.
+        let retire_of = |k: u64| {
+            if len >= w {
+                w * k
+            } else {
+                len + w * (k - 1)
+            }
+        };
+        let mut k = self.bubbles_left as u64 / w;
+        if self.finished_at.is_none() {
+            // Stop short of the instruction target so `finished_at` is
+            // recorded by a real tick at the exact retirement cycle.
+            let headroom = self.target.saturating_sub(1).saturating_sub(self.retired);
+            if len >= w {
+                k = k.min(headroom / w);
+            } else {
+                if headroom < len {
+                    return;
+                }
+                k = k.min((headroom - len) / w + 1);
+            }
+        }
+        if k < min_k {
+            return;
+        }
+        self.retired += retire_of(k);
+        self.bubbles_left -= (w * k) as u32;
+        self.sprint_start = now + 1;
+        self.sprint_first_retire = len.min(w);
+        // The surviving slots are the newest dispatches: batch j (cycle
+        // now + j, 1 ≤ j ≤ k) contributed w slots, so the slot at distance
+        // d from the back carries stamp now + k − d/w.
+        let new_len = len.max(w).min(w * k);
+        self.window.clear();
+        for i in 0..new_len {
+            let d = new_len - 1 - i;
+            self.window.push_back(Slot::ReadyAt(now + k - d / w));
+        }
+        self.ff_until = now + k + 1;
+    }
+
     /// Advances one CPU cycle: retire from the window head, then dispatch
     /// new instructions, issuing LLC accesses as needed.
     pub fn tick(&mut self, now: u64, llc: &mut SharedLlc) {
+        if now < self.ff_until {
+            // A bubble sprint already accounted for this cycle.
+            return;
+        }
         // Retire in order.
         let mut retired_now = 0;
         while retired_now < self.cfg.width {
@@ -224,6 +392,7 @@ impl SimpleO3Core {
             }
             dispatched += 1;
         }
+        self.try_bubble_sprint(now);
     }
 }
 

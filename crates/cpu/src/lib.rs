@@ -21,6 +21,6 @@ pub mod metrics;
 pub mod trace;
 
 pub use cache::{CacheConfig, FillOutcome, LoadResult, SharedLlc, UncoreRequest};
-pub use core::{CoreConfig, CoreState, SimpleO3Core};
+pub use core::{CoreConfig, CoreState, CoreWake, SimpleO3Core};
 pub use metrics::{max_slowdown, weighted_speedup};
 pub use trace::{Trace, TraceEntry, TraceOp};

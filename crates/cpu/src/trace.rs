@@ -54,10 +54,7 @@ impl Trace {
 
     /// Total instructions represented (bubbles + memory operations).
     pub fn instructions(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| e.bubbles as u64 + 1)
-            .sum()
+        self.entries.iter().map(|e| e.bubbles as u64 + 1).sum()
     }
 
     /// Memory operations per kilo-instruction.

@@ -90,11 +90,7 @@ struct PendingCompletion(Completion);
 impl Ord for PendingCompletion {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on completion time.
-        other
-            .0
-            .at
-            .cmp(&self.0.at)
-            .then(other.0.id.cmp(&self.0.id))
+        other.0.at.cmp(&self.0.at).then(other.0.id.cmp(&self.0.id))
     }
 }
 
@@ -168,7 +164,9 @@ impl MemoryController {
             writes: Vec::with_capacity(cfg.write_q),
             vrrq: VecDeque::new(),
             completions: BinaryHeap::new(),
-            fsm: (0..geo.ranks).map(|_| BackOffFsm::new(cfg.rfm_policy)).collect(),
+            fsm: (0..geo.ranks)
+                .map(|_| BackOffFsm::new(cfg.rfm_policy))
+                .collect(),
             refresh: (0..geo.ranks).map(|_| RefreshEngine::new(refi)).collect(),
             raa: vec![0; geo.total_banks()],
             raa_hot: vec![false; geo.ranks],
@@ -248,6 +246,74 @@ impl MemoryController {
         &self.cfg
     }
 
+    /// Arrival time of the earliest pending read completion, if any. The
+    /// event-driven loop uses this to bound fast-forward jumps: completions
+    /// are drained outside [`MemoryController::tick`], so they do not
+    /// contribute to [`MemoryController::next_wake`].
+    pub fn next_completion_at(&self) -> Option<Cycle> {
+        self.completions.peek().map(|PendingCompletion(c)| c.at)
+    }
+
+    /// The earliest cycle strictly after `now` at which
+    /// [`MemoryController::tick`] could change any state, assuming no new
+    /// requests arrive in the meantime. Called right after a tick; the
+    /// simulation loop may skip every cycle before the returned one.
+    ///
+    /// The analysis is deliberately conservative: whenever the controller
+    /// holds queued work, is mid-back-off, or owes a refresh, it reports
+    /// `now + 1` (tick every cycle). Only provably inert states — empty
+    /// queues, all FSMs quiescent — fast-forward to the next timed event
+    /// (refresh due, back-off window deadline, or alert visibility).
+    pub fn next_wake(&self, dram: &DramDevice, now: Cycle) -> Cycle {
+        // Queued demand, victim refreshes, or an active recovery: the
+        // controller arbitrates every cycle.
+        if !self.reads.is_empty() || !self.writes.is_empty() || !self.vrrq.is_empty() {
+            return now + 1;
+        }
+        if self.fsm.iter().any(BackOffFsm::in_recovery) {
+            return now + 1;
+        }
+        // PRFM: a bank at/above the RAA threshold forces RFM service.
+        if let Some(th) = self.cfg.raa_threshold {
+            if self.raa.iter().any(|&c| c >= th) {
+                return now + 1;
+            }
+        }
+        let mut wake = Cycle::MAX;
+        for (r, engine) in self.refresh.iter().enumerate() {
+            if engine.pending() {
+                // A refresh is owed: the next action is a PREab (open
+                // banks) or the REFab itself (all idle). Never jump past
+                // the first cycle either becomes legal.
+                let ready = if dram.rank_all_idle(r) {
+                    dram.refresh_ready_at(r)
+                } else {
+                    dram.preall_ready_at(r)
+                };
+                wake = wake.min(ready.max(now + 1));
+            } else {
+                wake = wake.min(engine.next_due());
+            }
+        }
+        for (r, fsm) in self.fsm.iter().enumerate() {
+            match fsm.state {
+                crate::rfm::BackOffState::Window { deadline } => {
+                    wake = wake.min(deadline);
+                }
+                // A latched alert matters once visible (and honoured).
+                crate::rfm::BackOffState::Normal if fsm.policy().honours_alert() => {
+                    if let Some(at) = dram.alert_latched_at(r) {
+                        wake = wake.min(at);
+                    }
+                }
+                // Recovery is handled above; Delay only advances on demand
+                // activations, which cannot happen while queues are empty.
+                _ => {}
+            }
+        }
+        wake.max(now + 1)
+    }
+
     /// Advances the controller by one memory cycle, issuing at most one
     /// command to the device.
     pub fn tick(&mut self, dram: &mut DramDevice, now: Cycle) {
@@ -305,8 +371,8 @@ impl MemoryController {
         if let Some(th) = self.cfg.raa_threshold {
             for r in 0..ranks {
                 let base = r * dram.geometry().banks_per_rank();
-                self.raa_hot[r] = (0..dram.geometry().banks_per_rank())
-                    .any(|i| self.raa[base + i] >= th);
+                self.raa_hot[r] =
+                    (0..dram.geometry().banks_per_rank()).any(|i| self.raa[base + i] >= th);
             }
             for r in 0..ranks {
                 if self.fsm[r].in_recovery() || !self.raa_hot[r] {
@@ -329,8 +395,8 @@ impl MemoryController {
                         let c = &mut self.raa[base + i];
                         *c = c.saturating_sub(th);
                     }
-                    self.raa_hot[r] = (0..dram.geometry().banks_per_rank())
-                        .any(|i| self.raa[base + i] >= th);
+                    self.raa_hot[r] =
+                        (0..dram.geometry().banks_per_rank()).any(|i| self.raa[base + i] >= th);
                     return;
                 }
             }
@@ -391,14 +457,34 @@ impl MemoryController {
         let fsm = &self.fsm;
         let raa_hot = &self.raa_hot;
         let rank_usable = |r: usize| !fsm[r].in_recovery() && !raa_hot[r];
-        let queue: &Vec<Entry> = if serve_writes { &self.writes } else { &self.reads };
-        let decision = scheduler::pick(queue, dram, now, self.cfg.cap, &self.hit_streak, &rank_usable);
+        let queue: &Vec<Entry> = if serve_writes {
+            &self.writes
+        } else {
+            &self.reads
+        };
+        let decision = scheduler::pick(
+            queue,
+            dram,
+            now,
+            self.cfg.cap,
+            &self.hit_streak,
+            &rank_usable,
+        );
         let Some(decision) = decision else {
             // Nothing issuable in the preferred queue; try the other one.
-            let other: &Vec<Entry> = if serve_writes { &self.reads } else { &self.writes };
-            let Some(decision) =
-                scheduler::pick(other, dram, now, self.cfg.cap, &self.hit_streak, &rank_usable)
-            else {
+            let other: &Vec<Entry> = if serve_writes {
+                &self.reads
+            } else {
+                &self.writes
+            };
+            let Some(decision) = scheduler::pick(
+                other,
+                dram,
+                now,
+                self.cfg.cap,
+                &self.hit_streak,
+                &rank_usable,
+            ) else {
                 return;
             };
             self.apply(decision, !serve_writes, dram, now);
@@ -435,7 +521,13 @@ impl MemoryController {
         }
     }
 
-    fn apply(&mut self, decision: Decision, is_write_queue: bool, dram: &mut DramDevice, now: Cycle) {
+    fn apply(
+        &mut self,
+        decision: Decision,
+        is_write_queue: bool,
+        dram: &mut DramDevice,
+        now: Cycle,
+    ) {
         let t = *dram.timings();
         let geo = *dram.geometry();
         match decision {
@@ -532,7 +624,8 @@ impl MemoryController {
             self.raa[flat] = self.raa[flat].saturating_add(1);
         }
         self.actions_buf.clear();
-        self.mitigation.on_activate(addr, now, &mut self.actions_buf);
+        self.mitigation
+            .on_activate(addr, now, &mut self.actions_buf);
         let blast = dram.config().blast_radius;
         let rows = dram.geometry().rows;
         for a in self.actions_buf.drain(..) {

@@ -32,8 +32,7 @@ impl AddressMapping {
     /// are generated within capacity; wrapping keeps arbitrary inputs
     /// well-formed).
     pub fn decode(&self, phys: u64, geo: &Geometry) -> DramAddr {
-        let line = (phys / geo.line_bytes as u64)
-            % (geo.capacity_bytes() / geo.line_bytes as u64);
+        let line = (phys / geo.line_bytes as u64) % (geo.capacity_bytes() / geo.line_bytes as u64);
         let mut x = line;
         let mut take = |n: u32| -> u64 {
             let v = x & ((1u64 << n) - 1);
@@ -171,7 +170,11 @@ mod tests {
                 geo.capacity_bytes() - 64,
             ] {
                 let a = m.decode(phys, &geo);
-                assert_eq!(m.encode(&a, &geo), phys & !63, "mapping {m}, phys {phys:#x}");
+                assert_eq!(
+                    m.encode(&a, &geo),
+                    phys & !63,
+                    "mapping {m}, phys {phys:#x}"
+                );
             }
         }
     }
@@ -211,7 +214,9 @@ mod tests {
         let row_stride = {
             // One full row of one bank under MOP ordering: cols * banks *
             // groups * ranks lines.
-            64u64 * geo.cols as u64 * geo.banks_per_group as u64
+            64u64
+                * geo.cols as u64
+                * geo.banks_per_group as u64
                 * geo.bankgroups as u64
                 * geo.ranks as u64
         };

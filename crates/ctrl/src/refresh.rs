@@ -62,6 +62,12 @@ impl RefreshEngine {
     pub fn completed(&self) -> u64 {
         self.done
     }
+
+    /// The next cycle at which a new REF becomes due — the wake-up point
+    /// for the event-driven loop when no refresh is currently owed.
+    pub fn next_due(&self) -> Cycle {
+        self.next_due
+    }
 }
 
 #[cfg(test)]
@@ -102,5 +108,13 @@ mod tests {
         }
         assert!(!e.pending());
         assert_eq!(e.completed(), 5);
+    }
+
+    #[test]
+    fn next_due_advances_with_time() {
+        let mut e = RefreshEngine::new(100);
+        assert_eq!(e.next_due(), 100);
+        e.tick(250);
+        assert_eq!(e.next_due(), 300);
     }
 }

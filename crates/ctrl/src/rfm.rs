@@ -140,9 +140,7 @@ impl BackOffFsm {
                     false
                 } else {
                     self.state = if n_delay > 0 {
-                        BackOffState::Delay {
-                            acts_left: n_delay,
-                        }
+                        BackOffState::Delay { acts_left: n_delay }
                     } else {
                         BackOffState::Normal
                     };

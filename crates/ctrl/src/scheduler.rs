@@ -69,13 +69,13 @@ pub enum Decision {
 /// passes, so timing-blocked precharges cannot be starved by an endless
 /// hit stream (the FR-FCFS+Cap guarantee of [Mutlu & Moscibroda,
 /// MICRO'07]).
-pub fn pick(
+pub fn pick<F: Fn(usize) -> bool>(
     queue: &[Entry],
     dram: &DramDevice,
     now: Cycle,
     cap: u32,
     hit_streak: &[u32],
-    rank_usable: &dyn Fn(usize) -> bool,
+    rank_usable: &F,
 ) -> Option<Decision> {
     let geo = *dram.geometry();
     debug_assert!(geo.total_banks() <= 64);

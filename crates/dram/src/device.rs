@@ -73,6 +73,9 @@ pub struct DramDevice {
     mitigation: Box<dyn DramMitigation + Send>,
     oracle: Option<DisturbOracle>,
     stats: DramStats,
+    /// Reused scratch for [`DramMitigation::on_periodic_refresh`] so the
+    /// refresh path never allocates.
+    periodic_scratch: Vec<(BankId, RowId)>,
 }
 
 impl std::fmt::Debug for DramDevice {
@@ -107,6 +110,7 @@ impl DramDevice {
             mitigation,
             oracle,
             stats: DramStats::default(),
+            periodic_scratch: Vec::new(),
         }
     }
 
@@ -156,6 +160,37 @@ impl DramDevice {
     /// `now` (assertions propagate with `tALERT`).
     pub fn alert_visible(&self, rank: usize, now: Cycle) -> bool {
         matches!(self.ranks[rank].alert_at, Some(at) if at <= now)
+    }
+
+    /// The cycle at which the rank's latched back-off assertion becomes
+    /// visible, if one is latched — the event-driven loop uses this to wake
+    /// exactly when the controller would first observe `alert_n`.
+    pub fn alert_latched_at(&self, rank: usize) -> Option<Cycle> {
+        self.ranks[rank].alert_at
+    }
+
+    /// Earliest cycle at which an all-bank REF/RFM could be accepted by
+    /// `rank` assuming every bank is (or stays) precharged: the rank-block
+    /// frontier joined with every bank's ACT frontier.
+    pub fn refresh_ready_at(&self, rank: usize) -> Cycle {
+        let r = &self.ranks[rank];
+        let banks_ready = r.banks.iter().map(|b| b.next_act).max().unwrap_or(0);
+        r.blocked_until.max(banks_ready)
+    }
+
+    /// Earliest cycle at which `PREab` could be accepted by `rank` (the
+    /// rank-block frontier joined with the PRE frontier of every open
+    /// bank); legal immediately if every bank is already idle.
+    pub fn preall_ready_at(&self, rank: usize) -> Cycle {
+        let r = &self.ranks[rank];
+        let open_ready = r
+            .banks
+            .iter()
+            .filter(|b| !b.is_idle())
+            .map(|b| b.next_pre)
+            .max()
+            .unwrap_or(0);
+        r.blocked_until.max(open_ready)
     }
 
     /// Clears the rank's back-off latch (controller acknowledgement).
@@ -246,10 +281,7 @@ impl DramDevice {
             }
             Command::PreAll { rank } => {
                 let r = &self.ranks[rank];
-                now >= r.blocked_until
-                    && r.banks
-                        .iter()
-                        .all(|b| b.is_idle() || now >= b.next_pre)
+                now >= r.blocked_until && r.banks.iter().all(|b| b.is_idle() || now >= b.next_pre)
             }
             Command::Rd { bank, col } | Command::RdA { bank, col } => {
                 debug_assert!((col as usize) < self.cfg.geometry.cols, "col out of range");
@@ -275,9 +307,7 @@ impl DramDevice {
             }
             Command::RefAll { rank } | Command::RfmAll { rank } => {
                 let r = &self.ranks[rank];
-                now >= r.blocked_until
-                    && r.all_idle()
-                    && r.banks.iter().all(|b| now >= b.next_act)
+                now >= r.blocked_until && r.all_idle() && r.banks.iter().all(|b| now >= b.next_act)
             }
         }
     }
@@ -466,13 +496,17 @@ impl DramDevice {
         if let Some(o) = &mut self.oracle {
             o.on_periodic_sweep(rank, ref_idx.wrapping_sub(1));
         }
-        let serviced = self.mitigation.on_periodic_refresh(rank, now);
+        let mut serviced = std::mem::take(&mut self.periodic_scratch);
+        serviced.clear();
+        self.mitigation
+            .on_periodic_refresh(rank, now, &mut serviced);
         self.stats.borrowed_refreshes += serviced.len() as u64;
         if let Some(o) = &mut self.oracle {
-            for (bank, aggressor) in serviced {
+            for &(bank, aggressor) in &serviced {
                 o.on_victims_refreshed(bank, aggressor);
             }
         }
+        self.periodic_scratch = serviced;
     }
 
     fn do_rfm(&mut self, rank: usize, now: Cycle) {
@@ -584,9 +618,27 @@ mod tests {
         // Four ACTs at 0, 8, 16, 24; the fifth must wait until 0 + tFAW.
         assert!(now < t.faw);
         let fifth = BankId::new(0, 4, 0);
-        assert!(!d.can_issue(&Command::Act { bank: fifth, row: 0 }, now));
-        assert!(!d.can_issue(&Command::Act { bank: fifth, row: 0 }, t.faw - 1));
-        assert!(d.can_issue(&Command::Act { bank: fifth, row: 0 }, t.faw));
+        assert!(!d.can_issue(
+            &Command::Act {
+                bank: fifth,
+                row: 0
+            },
+            now
+        ));
+        assert!(!d.can_issue(
+            &Command::Act {
+                bank: fifth,
+                row: 0
+            },
+            t.faw - 1
+        ));
+        assert!(d.can_issue(
+            &Command::Act {
+                bank: fifth,
+                row: 0
+            },
+            t.faw
+        ));
     }
 
     #[test]

@@ -57,10 +57,12 @@ pub trait DramMitigation {
     fn on_rfm(&mut self, bank: BankId, now: Cycle) -> RfmOutcome;
 
     /// A periodic REFab on `rank`: the mechanism may borrow time to
-    /// transparently refresh victims of high-count rows (§5). Returns the
-    /// aggressors serviced (at most one per bank per REF in the paper's
-    /// model).
-    fn on_periodic_refresh(&mut self, rank: usize, now: Cycle) -> Vec<(BankId, RowId)>;
+    /// transparently refresh victims of high-count rows (§5). Serviced
+    /// aggressors (at most one per bank per REF in the paper's model) are
+    /// appended to `serviced`, a caller-owned scratch buffer that the
+    /// device reuses across refreshes so the per-REF hot path stays
+    /// allocation-free.
+    fn on_periodic_refresh(&mut self, rank: usize, now: Cycle, serviced: &mut Vec<(BankId, RowId)>);
 
     /// After an RFM, does any row in `rank` still exceed the back-off
     /// threshold? Chronus keeps `alert_n` asserted while this holds (§7.2);
@@ -103,8 +105,12 @@ impl DramMitigation for NoMitigation {
         RfmOutcome::default()
     }
 
-    fn on_periodic_refresh(&mut self, _rank: usize, _now: Cycle) -> Vec<(BankId, RowId)> {
-        Vec::new()
+    fn on_periodic_refresh(
+        &mut self,
+        _rank: usize,
+        _now: Cycle,
+        _serviced: &mut Vec<(BankId, RowId)>,
+    ) {
     }
 
     fn kind_name(&self) -> &'static str {
@@ -123,7 +129,9 @@ mod tests {
         assert!(!m.on_activate(b, 1, 0));
         assert!(!m.on_precharge(b, 1, 10));
         assert_eq!(m.on_rfm(b, 20).refreshed_aggressor, None);
-        assert!(m.on_periodic_refresh(0, 30).is_empty());
+        let mut serviced = Vec::new();
+        m.on_periodic_refresh(0, 30, &mut serviced);
+        assert!(serviced.is_empty());
         assert!(!m.alert_still_needed(0));
         assert_eq!(m.stats(), MitigationStats::default());
         assert_eq!(m.kind_name(), "none");

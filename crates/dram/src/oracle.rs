@@ -227,7 +227,7 @@ mod tests {
         let mut o = DisturbOracle::new(geo, 2, 1000);
         let b = BankId::new(0, 0, 0);
         o.on_activate(b, 1); // damages rows 0, 2, 3
-        // Slice 0 covers the first ceil(1024/8192) = 1 row of every bank.
+                             // Slice 0 covers the first ceil(1024/8192) = 1 row of every bank.
         o.on_periodic_sweep(0, 0);
         assert_eq!(o.damage_of(b, 0), 0);
         assert_eq!(o.damage_of(b, 2), 1);

@@ -93,9 +93,8 @@ pub fn compute(
     // Preventive refreshes are row activations of victim rows: RFM service
     // and borrowed refreshes touch `victims_per_service` rows per
     // aggressor; VRRs are counted per victim row already.
-    let preventive_rows = stats.rfm_victim_rows
-        + stats.vrrs
-        + stats.borrowed_refreshes * victims_per_service as u64;
+    let preventive_rows =
+        stats.rfm_victim_rows + stats.vrrs + stats.borrowed_refreshes * victims_per_service as u64;
     let background = stats.active_standby_cycles as f64 * t.tck_ns * p.background_pj_per_ns(true)
         + stats.precharge_standby_cycles as f64 * t.tck_ns * p.background_pj_per_ns(false);
     let mechanism = mit.counter_updates as f64 * mech.per_counter_update_pj

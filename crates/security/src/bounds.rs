@@ -45,7 +45,13 @@ pub fn dbc_chronus(nbo: u32, trfm_ns: f64, trc_ns: f64) -> f64 {
 /// triggers back-offs after `acts[i] ≥ N_BO` activations each (Appendix D's
 /// `DBC` function). Used by property tests to confirm no pattern beats the
 /// §11 worst case.
-pub fn dbc_of_pattern(acts_per_backoff: &[u64], nbo: u32, n_ref: u32, trfm_ns: f64, trc_ns: f64) -> f64 {
+pub fn dbc_of_pattern(
+    acts_per_backoff: &[u64],
+    nbo: u32,
+    n_ref: u32,
+    trfm_ns: f64,
+    trc_ns: f64,
+) -> f64 {
     assert!(
         acts_per_backoff.iter().all(|&a| a >= nbo as u64),
         "triggering a back-off requires at least N_BO activations"

@@ -173,10 +173,7 @@ pub mod discrete {
                 if bank_acts.is_multiple_of(rfm_th as u64) {
                     // Mitigate the hottest surviving row.
                     elapsed += t.trfm_ns;
-                    if let Some((pos, _)) = alive
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, &r)| counts[r])
+                    if let Some((pos, _)) = alive.iter().enumerate().max_by_key(|(_, &r)| counts[r])
                     {
                         let removed = alive.swap_remove(pos);
                         counts[removed] = 0;
@@ -229,8 +226,8 @@ pub mod discrete {
             if elapsed > t.trefw_ns {
                 return max_count;
             }
-            let backoff = counts[row] >= cfg.nbo as u64
-                && acts_since_recovery >= cfg.n_delay as u64;
+            let backoff =
+                counts[row] >= cfg.nbo as u64 && acts_since_recovery >= cfg.n_delay as u64;
             if backoff {
                 // Window of normal traffic: hammer `window_acts` more rows.
                 for _ in 0..window_acts {
@@ -249,11 +246,7 @@ pub mod discrete {
                     return max_count;
                 }
                 for _ in 0..cfg.n_ref {
-                    if let Some((p, _)) = alive
-                        .iter()
-                        .enumerate()
-                        .max_by_key(|(_, &r)| counts[r])
-                    {
+                    if let Some((p, _)) = alive.iter().enumerate().max_by_key(|(_, &r)| counts[r]) {
                         let removed = alive.swap_remove(p);
                         counts[removed] = 0;
                     }
@@ -324,7 +317,10 @@ mod tests {
         for r1 in [1024u64, 4096, 16_384, 65_536] {
             worst = worst.max(prac_wave_max_acts(PracBackOff::prac_n(4, 1), r1, &t));
         }
-        assert!((10..=24).contains(&worst), "worst case {worst} out of range");
+        assert!(
+            (10..=24).contains(&worst),
+            "worst case {worst} out of range"
+        );
     }
 
     #[test]

@@ -26,9 +26,11 @@
 pub mod config;
 pub mod parallel;
 pub mod report;
+pub mod slab;
 pub mod system;
 
 pub use config::SimConfig;
 pub use parallel::run_parallel;
 pub use report::SimReport;
+pub use slab::InflightSlab;
 pub use system::System;

@@ -1,11 +1,14 @@
 //! Parallel experiment execution over the local cores.
 //!
 //! The paper's artifact farms ~500 Ramulator jobs onto a Slurm cluster;
-//! here a crossbeam-scoped worker pool runs the (workload × mechanism ×
-//! N_RH) grid on the local machine.
+//! here a `std::thread::scope` worker pool runs the (workload × mechanism ×
+//! N_RH) grid on the local machine. Items are dealt round-robin into
+//! per-worker chunks; each worker owns its chunk outright and streams
+//! `(index, result)` pairs back over an mpsc channel, so no slot-level
+//! locking (and no `unsafe`) is needed while input order is still
+//! preserved in the output.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// Applies `f` to every item on `threads` worker threads, preserving input
 /// order in the output.
@@ -15,29 +18,46 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = threads.max(1);
     let n = items.len();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let next = AtomicUsize::new(0);
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Deal items round-robin so long-running neighbours (e.g. one slow mix
+    // class) spread across workers.
+    let mut chunks: Vec<Vec<(usize, T)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        chunks[i % threads].push((i, item));
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let f = &f;
+    std::thread::scope(|s| {
+        for chunk in chunks {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for (i, item) in chunk {
+                    if tx.send((i, f(item))).is_err() {
+                        // Receiver gone: the main thread is unwinding.
+                        return;
+                    }
                 }
-                let item = work[i].lock().expect("work slot").take().expect("taken once");
-                let r = f(item);
-                *slots[i].lock().expect("result slot") = Some(r);
             });
         }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            debug_assert!(out[i].is_none(), "result {i} delivered twice");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("worker delivered every result"))
+            .collect()
     })
-    .expect("worker panicked");
-    slots
-        .into_iter()
-        .map(|m| m.into_inner().expect("result mutex").expect("result set"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -66,5 +86,11 @@ mod tests {
     fn more_threads_than_items() {
         let out = run_parallel(vec![1, 2], 16, |x: i32| x + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn uneven_items_balance_across_workers() {
+        let out = run_parallel((0..37).collect(), 5, |x: u64| x * x);
+        assert_eq!(out, (0..37).map(|x| x * x).collect::<Vec<_>>());
     }
 }

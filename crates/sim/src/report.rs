@@ -6,7 +6,11 @@ use chronus_energy::EnergyBreakdown;
 use serde::Serialize;
 
 /// Everything a run produces.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `PartialEq` compares every field (including floats) exactly — the loop
+/// equivalence harness relies on bit-identical reports between
+/// [`crate::System::run`] and [`crate::System::run_reference`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimReport {
     /// Mechanism label.
     pub mechanism: String,

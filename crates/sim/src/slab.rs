@@ -1,0 +1,109 @@
+//! Id-indexed slab for in-flight read bookkeeping.
+//!
+//! The simulation loop needs to route every read completion back to the
+//! LLC line (and cacheability) it was issued for. The seed used a
+//! `HashMap<u64, (u64, bool)>`, which hashes and reallocates on the
+//! hottest per-completion path; this slab hands out dense indices as
+//! request ids instead, so insert/take are two bounds-checked array moves
+//! and freed slots are recycled without ever shrinking.
+
+/// Routing data for one in-flight demand read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InflightRead {
+    /// LLC line address the fill belongs to.
+    pub line_addr: u64,
+    /// True when the read bypasses the cache (non-cacheable load).
+    pub uncached: bool,
+}
+
+/// Slab of in-flight reads, keyed by the request id it hands out.
+#[derive(Debug, Default)]
+pub struct InflightSlab {
+    slots: Vec<Option<InflightRead>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl InflightSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an in-flight read and returns the id to tag the memory
+    /// request with.
+    pub fn insert(&mut self, line_addr: u64, uncached: bool) -> u64 {
+        let entry = InflightRead {
+            line_addr,
+            uncached,
+        };
+        self.live += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.slots[idx as usize].is_none());
+                self.slots[idx as usize] = Some(entry);
+                u64::from(idx)
+            }
+            None => {
+                self.slots.push(Some(entry));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    /// Removes and returns the read registered under `id`, if any.
+    pub fn take(&mut self, id: u64) -> Option<InflightRead> {
+        let idx = usize::try_from(id).ok()?;
+        let entry = self.slots.get_mut(idx)?.take()?;
+        self.free.push(idx as u32);
+        self.live -= 1;
+        Some(entry)
+    }
+
+    /// Number of reads currently in flight.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut s = InflightSlab::new();
+        let a = s.insert(0x1000, false);
+        let b = s.insert(0x2000, true);
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        let got = s.take(a).unwrap();
+        assert_eq!(got.line_addr, 0x1000);
+        assert!(!got.uncached);
+        assert!(s.take(a).is_none(), "double take must fail");
+        assert_eq!(s.take(b).unwrap().line_addr, 0x2000);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn freed_ids_are_recycled() {
+        let mut s = InflightSlab::new();
+        let a = s.insert(1, false);
+        s.take(a).unwrap();
+        let b = s.insert(2, false);
+        assert_eq!(a, b, "slot should be reused");
+        assert_eq!(s.take(b).unwrap().line_addr, 2);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let mut s = InflightSlab::new();
+        assert!(s.take(0).is_none());
+        assert!(s.take(u64::MAX).is_none());
+    }
+}

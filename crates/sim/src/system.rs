@@ -1,19 +1,30 @@
-//! System assembly and the main simulation loop.
-
-use std::collections::HashMap;
+//! System assembly and the main simulation loops.
+//!
+//! [`System::run`] is the production loop: event-driven, fast-forwarding
+//! both clock domains over provably inert stretches (empty controller
+//! queues, memory-blocked or bubble-sprinting cores) and allocation-free
+//! on its per-cycle paths. [`System::run_reference`] retains the naive
+//! strictly cycle-by-cycle loop; the two are kept bit-identical in their
+//! [`SimReport`] output (see `tests/loop_equivalence.rs`), so the fast
+//! path can never silently change figure results.
 
 use chronus_core::MechanismKind;
-use chronus_cpu::{CoreState, SharedLlc, SimpleO3Core, Trace, UncoreRequest};
-use chronus_ctrl::{CtrlConfig, MemRequest, MemoryController, ReqKind};
-use chronus_dram::{DramConfig, DramDevice};
+use chronus_cpu::{CoreState, CoreWake, SharedLlc, SimpleO3Core, Trace};
+use chronus_ctrl::{Completion, CtrlConfig, MemRequest, MemoryController, ReqKind};
+use chronus_dram::{DramConfig, DramDevice, Geometry};
 use chronus_energy::{EnergyParams, MechanismEnergy};
 
 use crate::config::SimConfig;
 use crate::report::SimReport;
+use crate::slab::InflightSlab;
 
 /// CPU cycles per `CLOCK_MEM` memory cycles: 4.2 GHz / 1.6 GHz = 21 / 8.
 const CLOCK_CPU: u64 = 21;
 const CLOCK_MEM: u64 = 8;
+
+/// Request id for traffic that never produces a routed completion
+/// (writebacks); demand reads use dense slab indices instead.
+const UNROUTED_ID: u64 = u64::MAX;
 
 /// A fully wired simulation instance.
 pub struct System {
@@ -29,9 +40,12 @@ impl System {
     /// Builds the platform for `cfg` (mechanism thresholds are derived
     /// from the analytical security models).
     pub fn build(cfg: &SimConfig) -> Self {
-        let setup =
-            cfg.mechanism
-                .build_with_threshold(cfg.nrh, cfg.geometry, cfg.seed, cfg.threshold_override);
+        let setup = cfg.mechanism.build_with_threshold(
+            cfg.nrh,
+            cfg.geometry,
+            cfg.seed,
+            cfg.threshold_override,
+        );
         let timing_mode = cfg.timing_override.unwrap_or(setup.timing_mode);
         let mut dram_cfg = DramConfig::with_mode(timing_mode);
         dram_cfg.geometry = cfg.geometry;
@@ -60,22 +74,10 @@ impl System {
         }
     }
 
-    /// Runs `traces` (one per core) until every core retires its target,
-    /// then returns the report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the number of traces does not match `num_cores`.
-    pub fn run(mut self, traces: Vec<Trace>) -> SimReport {
-        assert_eq!(
-            traces.len(),
-            self.cfg.num_cores,
-            "need one trace per core"
-        );
-        let mapping = self.ctrl.config().mapping;
-        let geo = *self.dram.geometry();
+    fn build_cores(&self, traces: Vec<Trace>) -> Vec<SimpleO3Core> {
+        assert_eq!(traces.len(), self.cfg.num_cores, "need one trace per core");
         let llc_hit_latency = self.cfg.llc.hit_latency;
-        let mut cores: Vec<SimpleO3Core> = traces
+        traces
             .into_iter()
             .enumerate()
             .map(|(i, t)| {
@@ -87,15 +89,167 @@ impl System {
                     llc_hit_latency,
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Runs `traces` (one per core) until every core retires its target,
+    /// then returns the report. Event-driven: inert cycles are jumped in
+    /// both clock domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of traces does not match `num_cores`.
+    pub fn run(mut self, traces: Vec<Trace>) -> SimReport {
+        let mut cores = self.build_cores(traces);
+        let mapping = self.ctrl.config().mapping;
+        let geo = *self.dram.geometry();
 
         let mut mem_cycle: u64 = 0;
         let mut cpu_cycle: u64 = 0;
         let mut cpu_credit: u64 = 0;
-        let mut next_req_id: u64 = 1;
-        // req id → (line address, uncached) for fill routing.
-        let mut inflight: HashMap<u64, (u64, bool)> = HashMap::new();
-        let mut completions = Vec::new();
+        let mut inflight = InflightSlab::new();
+        let mut completions: Vec<Completion> = Vec::with_capacity(64);
+        let mut truncated = false;
+        // First cycle at which the controller could act again; re-armed to
+        // `mem_cycle + 1` whenever new work reaches it.
+        let mut ctrl_wake: u64 = 0;
+
+        loop {
+            // --- memory domain ---
+            let mut pushed = false;
+            if mem_cycle >= ctrl_wake {
+                self.ctrl.tick(&mut self.dram, mem_cycle);
+                ctrl_wake = self.ctrl.next_wake(&self.dram, mem_cycle);
+            }
+            completions.clear();
+            self.ctrl.drain_completions(mem_cycle, &mut completions);
+            if !completions.is_empty() {
+                pushed |= deliver_fills(
+                    &mut self.ctrl,
+                    &mut self.llc,
+                    &mut cores,
+                    &mut inflight,
+                    &completions,
+                    mapping,
+                    &geo,
+                    mem_cycle,
+                    cpu_cycle,
+                );
+            }
+            if self.llc.peek_request().is_some() {
+                pushed |= forward_llc_requests(
+                    &mut self.ctrl,
+                    &mut self.llc,
+                    &mut inflight,
+                    mapping,
+                    &geo,
+                    mem_cycle,
+                );
+            }
+            if pushed {
+                ctrl_wake = mem_cycle + 1;
+            }
+
+            // --- CPU domain (21 CPU cycles per 8 memory cycles) ---
+            cpu_credit += CLOCK_CPU;
+            while cpu_credit >= CLOCK_MEM {
+                cpu_credit -= CLOCK_MEM;
+                for core in cores.iter_mut() {
+                    core.tick(cpu_cycle, &mut self.llc);
+                }
+                cpu_cycle += 1;
+            }
+
+            mem_cycle += 1;
+            if cores.iter().all(|c| c.state() == CoreState::Done) {
+                break;
+            }
+            if self.cfg.max_mem_cycles > 0 && mem_cycle >= self.cfg.max_mem_cycles {
+                truncated = true;
+                break;
+            }
+
+            // --- event-driven fast-forward ---
+            // Jump over iterations in which neither domain can change
+            // state: the controller sleeps until `ctrl_wake`, no data is
+            // due before the earliest pending completion, nothing waits in
+            // the LLC outbox, and every core is memory-blocked or sleeping
+            // until a known CPU cycle.
+            if self.llc.peek_request().is_some() {
+                continue;
+            }
+            let last_cpu = cpu_cycle - 1;
+            let mut target = ctrl_wake;
+            if let Some(at) = self.ctrl.next_completion_at() {
+                target = target.min(at);
+            }
+            if target <= mem_cycle {
+                continue;
+            }
+            let mut skippable = true;
+            for core in &cores {
+                match core.next_event_cycle(last_cpu) {
+                    CoreWake::Busy => {
+                        skippable = false;
+                        break;
+                    }
+                    CoreWake::At(c) => {
+                        // Iteration executing CPU cycle `c`: the credit
+                        // accumulator runs cycle c once total CPU cycles
+                        // exceed c, i.e. at iteration ceil(8(c+1)/21) - 1.
+                        let m = (CLOCK_MEM * (c + 1)).div_ceil(CLOCK_CPU) - 1;
+                        target = target.min(m);
+                    }
+                    CoreWake::Blocked => {}
+                }
+            }
+            if !skippable || target <= mem_cycle {
+                continue;
+            }
+            if self.cfg.max_mem_cycles > 0 {
+                target = target.min(self.cfg.max_mem_cycles);
+                if target <= mem_cycle {
+                    continue;
+                }
+            }
+            // Advance both clock domains over the inert stretch exactly as
+            // the per-cycle loop would have.
+            let skipped = target - mem_cycle;
+            mem_cycle = target;
+            cpu_credit += CLOCK_CPU * skipped;
+            cpu_cycle += cpu_credit / CLOCK_MEM;
+            cpu_credit %= CLOCK_MEM;
+            if self.cfg.max_mem_cycles > 0 && mem_cycle >= self.cfg.max_mem_cycles {
+                truncated = true;
+                break;
+            }
+        }
+
+        self.finish(cores, mem_cycle, cpu_cycle, truncated)
+    }
+
+    /// The retained strictly cycle-by-cycle loop. Kept as the equivalence
+    /// baseline for [`System::run`] (and for before/after benchmarking):
+    /// both loops must produce bit-identical [`SimReport`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of traces does not match `num_cores`.
+    pub fn run_reference(mut self, traces: Vec<Trace>) -> SimReport {
+        let mut cores = self.build_cores(traces);
+        for core in &mut cores {
+            // Strictly cycle-by-cycle: no closed-form bubble sprints, so
+            // this loop independently re-derives what `run` fast-forwards.
+            core.set_sprint_enabled(false);
+        }
+        let mapping = self.ctrl.config().mapping;
+        let geo = *self.dram.geometry();
+
+        let mut mem_cycle: u64 = 0;
+        let mut cpu_cycle: u64 = 0;
+        let mut cpu_credit: u64 = 0;
+        let mut inflight = InflightSlab::new();
+        let mut completions: Vec<Completion> = Vec::with_capacity(64);
         let mut truncated = false;
 
         loop {
@@ -103,58 +257,25 @@ impl System {
             self.ctrl.tick(&mut self.dram, mem_cycle);
             completions.clear();
             self.ctrl.drain_completions(mem_cycle, &mut completions);
-            for c in &completions {
-                if let Some((line, uncached)) = inflight.remove(&c.id) {
-                    let fill = self.llc.on_fill(line, uncached);
-                    for token in fill.waiters {
-                        let core = SimpleO3Core::token_core(token) as usize;
-                        cores[core].on_mem_complete(token, cpu_cycle);
-                    }
-                    if let Some(victim) = fill.writeback {
-                        let addr = mapping.decode(victim, &geo);
-                        // Writebacks are controller-internal; a full write
-                        // queue simply retries next cycle via the outbox
-                        // path below (we re-queue through the LLC outbox).
-                        if !self.ctrl.push_request(MemRequest {
-                            id: 0,
-                            kind: ReqKind::Write,
-                            addr,
-                            core: chronus_ctrl::request::INTERNAL_CORE,
-                            arrived: mem_cycle,
-                        }) {
-                            // Drop-retry: push back into the outbox.
-                            self.llc_push_writeback(victim);
-                        }
-                    }
-                }
-            }
-            // Forward LLC misses/writebacks to the controller.
-            while let Some(req) = self.llc.peek_request() {
-                let kind = if req.write {
-                    ReqKind::Write
-                } else {
-                    ReqKind::Read
-                };
-                if !self.ctrl.can_accept(kind) {
-                    break;
-                }
-                let req: UncoreRequest = *req;
-                self.llc.pop_request();
-                let id = next_req_id;
-                next_req_id += 1;
-                let addr = mapping.decode(req.line_addr, &geo);
-                let accepted = self.ctrl.push_request(MemRequest {
-                    id,
-                    kind,
-                    addr,
-                    core: 0,
-                    arrived: mem_cycle,
-                });
-                debug_assert!(accepted);
-                if !req.write {
-                    inflight.insert(id, (req.line_addr, req.uncached));
-                }
-            }
+            deliver_fills(
+                &mut self.ctrl,
+                &mut self.llc,
+                &mut cores,
+                &mut inflight,
+                &completions,
+                mapping,
+                &geo,
+                mem_cycle,
+                cpu_cycle,
+            );
+            forward_llc_requests(
+                &mut self.ctrl,
+                &mut self.llc,
+                &mut inflight,
+                mapping,
+                &geo,
+                mem_cycle,
+            );
 
             // --- CPU domain (21 CPU cycles per 8 memory cycles) ---
             cpu_credit += CLOCK_CPU;
@@ -176,6 +297,20 @@ impl System {
             }
         }
 
+        self.finish(cores, mem_cycle, cpu_cycle, truncated)
+    }
+
+    fn finish(
+        mut self,
+        mut cores: Vec<SimpleO3Core>,
+        mem_cycle: u64,
+        cpu_cycle: u64,
+        truncated: bool,
+    ) -> SimReport {
+        for core in &mut cores {
+            // Remove sprint credit for cycles the run never reached.
+            core.settle_retired(cpu_cycle.saturating_sub(1));
+        }
         self.dram.finalize(mem_cycle);
         let mech_energy = match self.cfg.mechanism {
             MechanismKind::Prac1
@@ -211,11 +346,89 @@ impl System {
             truncated,
         }
     }
+}
 
-    fn llc_push_writeback(&mut self, _line: u64) {
-        // Writeback retry is best-effort: losing a modelled writeback only
-        // under-counts write traffic in an already-saturated queue state.
+/// Routes drained completions back through the LLC: wakes waiting cores
+/// and queues dirty-victim writebacks. Returns `true` if a request was
+/// pushed to the controller.
+#[allow(clippy::too_many_arguments)]
+fn deliver_fills(
+    ctrl: &mut MemoryController,
+    llc: &mut SharedLlc,
+    cores: &mut [SimpleO3Core],
+    inflight: &mut InflightSlab,
+    completions: &[Completion],
+    mapping: chronus_ctrl::AddressMapping,
+    geo: &Geometry,
+    mem_cycle: u64,
+    cpu_cycle: u64,
+) -> bool {
+    let mut pushed = false;
+    for c in completions {
+        let Some(read) = inflight.take(c.id) else {
+            continue;
+        };
+        let fill = llc.on_fill(read.line_addr, read.uncached);
+        for token in fill.waiters {
+            let core = SimpleO3Core::token_core(token) as usize;
+            cores[core].on_mem_complete(token, cpu_cycle);
+        }
+        if let Some(victim) = fill.writeback {
+            let addr = mapping.decode(victim, geo);
+            // Writebacks are controller-internal; when the write queue is
+            // full the modelled writeback is dropped (it only under-counts
+            // write traffic in an already-saturated state).
+            pushed |= ctrl.push_request(MemRequest {
+                id: UNROUTED_ID,
+                kind: ReqKind::Write,
+                addr,
+                core: chronus_ctrl::request::INTERNAL_CORE,
+                arrived: mem_cycle,
+            });
+        }
     }
+    pushed
+}
+
+/// Forwards LLC misses/writebacks to the controller while it accepts
+/// them. Returns `true` if any request was pushed.
+fn forward_llc_requests(
+    ctrl: &mut MemoryController,
+    llc: &mut SharedLlc,
+    inflight: &mut InflightSlab,
+    mapping: chronus_ctrl::AddressMapping,
+    geo: &Geometry,
+    mem_cycle: u64,
+) -> bool {
+    let mut pushed = false;
+    while let Some(req) = llc.peek_request() {
+        let kind = if req.write {
+            ReqKind::Write
+        } else {
+            ReqKind::Read
+        };
+        if !ctrl.can_accept(kind) {
+            break;
+        }
+        let req = *req;
+        llc.pop_request();
+        let id = if req.write {
+            UNROUTED_ID
+        } else {
+            inflight.insert(req.line_addr, req.uncached)
+        };
+        let addr = mapping.decode(req.line_addr, geo);
+        let accepted = ctrl.push_request(MemRequest {
+            id,
+            kind,
+            addr,
+            core: 0,
+            arrived: mem_cycle,
+        });
+        debug_assert!(accepted);
+        pushed = true;
+    }
+    pushed
 }
 
 /// Runs one application alone on the unmitigated baseline and returns its
@@ -282,8 +495,8 @@ mod tests {
 
     #[test]
     fn prac_timing_slows_memory_bound_app() {
-        let base = System::build(&quick_cfg(MechanismKind::None, 1024))
-            .run(vec![trace_for("429.mcf", 0)]);
+        let base =
+            System::build(&quick_cfg(MechanismKind::None, 1024)).run(vec![trace_for("429.mcf", 0)]);
         let prac = System::build(&quick_cfg(MechanismKind::Prac4, 1024))
             .run(vec![trace_for("429.mcf", 0)]);
         assert!(
@@ -296,8 +509,8 @@ mod tests {
 
     #[test]
     fn chronus_is_near_baseline_at_high_nrh() {
-        let base = System::build(&quick_cfg(MechanismKind::None, 1024))
-            .run(vec![trace_for("429.mcf", 0)]);
+        let base =
+            System::build(&quick_cfg(MechanismKind::None, 1024)).run(vec![trace_for("429.mcf", 0)]);
         let chronus = System::build(&quick_cfg(MechanismKind::Chronus, 1024))
             .run(vec![trace_for("429.mcf", 0)]);
         let slowdown = 1.0 - chronus.ipc[0] / base.ipc[0];
@@ -310,6 +523,18 @@ mod tests {
         cfg.max_mem_cycles = 500;
         let r = System::build(&cfg).run(vec![trace_for("429.mcf", 0)]);
         assert!(r.truncated);
+    }
+
+    #[test]
+    fn max_cycles_truncates_identically_in_both_loops() {
+        // The fast loop may jump straight to the cycle limit; the report
+        // must still match the per-cycle loop bit for bit.
+        let mut cfg = quick_cfg(MechanismKind::None, 1024);
+        cfg.max_mem_cycles = 1_000;
+        let fast = System::build(&cfg).run(vec![trace_for("511.povray", 0)]);
+        let naive = System::build(&cfg).run_reference(vec![trace_for("511.povray", 0)]);
+        assert!(fast.truncated && naive.truncated);
+        assert_eq!(fast, naive);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Fast-forward / reference loop equivalence.
+//!
+//! The event-driven loop ([`System::run`]) is only allowed to exist
+//! because it is provably observation-equivalent to the retained
+//! cycle-by-cycle loop ([`System::run_reference`]): every [`SimReport`]
+//! field — cycle counts, IPC, DRAM/controller statistics, mitigation
+//! counters, energy — must match bit for bit across the paper's mechanism
+//! matrix. Any divergence here means the speedup changed figure outputs.
+
+use chronus_core::MechanismKind;
+use chronus_sim::{SimConfig, SimReport, System};
+use chronus_workloads::synthetic_app;
+
+/// The equivalence matrix of the issue: controller-, device-, and
+/// hybrid-side mechanisms at a relaxed and an aggressive threshold.
+const MECHANISMS: [MechanismKind; 5] = [
+    MechanismKind::None,
+    MechanismKind::Prac4,
+    MechanismKind::Chronus,
+    MechanismKind::Prfm,
+    MechanismKind::Graphene,
+];
+const NRH_POINTS: [u32; 2] = [1024, 64];
+
+fn single_cfg(mech: MechanismKind, nrh: u32, insts: u64) -> SimConfig {
+    let mut cfg = SimConfig::single_core();
+    cfg.instructions_per_core = insts;
+    cfg.mechanism = mech;
+    cfg.nrh = nrh;
+    cfg.max_mem_cycles = insts * 5_000;
+    cfg
+}
+
+fn assert_identical(fast: &SimReport, naive: &SimReport, what: &str) {
+    // Compare the load-bearing scalars first for readable failures, then
+    // the whole report (energy, mitigation stats, oracle fields, …).
+    assert_eq!(fast.mem_cycles, naive.mem_cycles, "{what}: mem_cycles");
+    assert_eq!(fast.cpu_cycles, naive.cpu_cycles, "{what}: cpu_cycles");
+    assert_eq!(fast.retired, naive.retired, "{what}: retired");
+    assert_eq!(fast.ipc, naive.ipc, "{what}: ipc");
+    assert_eq!(fast.dram, naive.dram, "{what}: dram stats");
+    assert_eq!(fast.ctrl, naive.ctrl, "{what}: ctrl stats");
+    assert_eq!(
+        fast.dram_mitigation, naive.dram_mitigation,
+        "{what}: dram mitigation stats"
+    );
+    assert_eq!(
+        fast.ctrl_mitigation, naive.ctrl_mitigation,
+        "{what}: ctrl mitigation stats"
+    );
+    assert_eq!(fast, naive, "{what}: full report");
+}
+
+fn check_single(mech: MechanismKind, nrh: u32, app: &str, insts: u64) {
+    let cfg = single_cfg(mech, nrh, insts);
+    let trace = || {
+        synthetic_app(app, 0)
+            .unwrap()
+            .generate(insts + insts / 5, 11)
+    };
+    let fast = System::build(&cfg).run(vec![trace()]);
+    let naive = System::build(&cfg).run_reference(vec![trace()]);
+    assert!(!fast.truncated, "{mech}@{nrh}/{app} truncated");
+    assert_identical(&fast, &naive, &format!("{mech}@{nrh}/{app}"));
+}
+
+#[test]
+fn idle_heavy_app_matrix_is_bit_identical() {
+    // 511.povray: the fast loop spends most of its time in bubble sprints
+    // and full-system jumps — exactly the paths that could drift.
+    for mech in MECHANISMS {
+        for nrh in NRH_POINTS {
+            check_single(mech, nrh, "511.povray", 6_000);
+        }
+    }
+}
+
+#[test]
+fn memory_bound_app_matrix_is_bit_identical() {
+    // 429.mcf: queues stay hot, exercising the busy paths and the
+    // wake/re-arm hand-off around refresh and back-off activity.
+    for mech in MECHANISMS {
+        for nrh in NRH_POINTS {
+            check_single(mech, nrh, "429.mcf", 4_000);
+        }
+    }
+}
+
+#[test]
+fn four_core_mix_is_bit_identical() {
+    for (mech, nrh) in [(MechanismKind::Chronus, 64), (MechanismKind::Prac4, 1024)] {
+        let mut cfg = SimConfig::four_core();
+        cfg.instructions_per_core = 3_000;
+        cfg.mechanism = mech;
+        cfg.nrh = nrh;
+        cfg.max_mem_cycles = 20_000_000;
+        let traces = || {
+            ["429.mcf", "470.lbm", "tpch2", "511.povray"]
+                .iter()
+                .enumerate()
+                .map(|(i, n)| synthetic_app(n, i as u64).unwrap().generate(4_000, 17))
+                .collect::<Vec<_>>()
+        };
+        let fast = System::build(&cfg).run(traces());
+        let naive = System::build(&cfg).run_reference(traces());
+        assert_identical(&fast, &naive, &format!("4-core {mech}@{nrh}"));
+    }
+}
+
+#[test]
+fn remaining_mechanisms_match_on_a_smoke_point() {
+    // Everything the headline matrix skips still has to agree.
+    for mech in [
+        MechanismKind::Prac1,
+        MechanismKind::Prac2,
+        MechanismKind::PracPrfm,
+        MechanismKind::ChronusPb,
+        MechanismKind::Hydra,
+        MechanismKind::Para,
+        MechanismKind::Abacus,
+    ] {
+        check_single(mech, 128, "462.libquantum", 2_500);
+    }
+}

@@ -6,8 +6,8 @@
 //! exact (bank, row) coordinates it intends — the paper's threat model
 //! assumes knowledge of the physical layout (§4).
 
-use chronus_ctrl::AddressMapping;
 use chronus_cpu::{Trace, TraceEntry, TraceOp};
+use chronus_ctrl::AddressMapping;
 use chronus_dram::{BankId, DramAddr, Geometry};
 
 /// Builds the §4 wave attack: hammer `rows` decoy rows of one bank in
@@ -53,9 +53,7 @@ pub fn perf_attack_trace(
         .map(|i| BankId::from_flat(i * 5 % geo.total_banks(), geo))
         .collect();
     // Spread target rows across the bank to avoid shared victims.
-    let rows: Vec<u32> = (0..rows_per_bank)
-        .map(|i| (1000 + i * 64) as u32)
-        .collect();
+    let rows: Vec<u32> = (0..rows_per_bank).map(|i| (1000 + i * 64) as u32).collect();
     let mut t = Trace::new("perf-attack");
     for i in 0..total_accesses {
         let bank = banks[i % banks.len()];

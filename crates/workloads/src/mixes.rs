@@ -79,7 +79,11 @@ pub struct Mix {
 pub fn four_core_mixes(per_class: usize, seed: u64) -> Vec<Mix> {
     let profiles = all_profiles();
     let pool = |c: IntensityClass| -> Vec<AppProfile> {
-        profiles.iter().copied().filter(|p| p.class() == c).collect()
+        profiles
+            .iter()
+            .copied()
+            .filter(|p| p.class() == c)
+            .collect()
     };
     let pools = [
         pool(IntensityClass::High),

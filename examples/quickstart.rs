@@ -29,7 +29,10 @@ fn main() {
     let report = System::build(&cfg).run(traces);
 
     println!("mechanism : {} (N_RH = {})", report.mechanism, report.nrh);
-    println!("cycles    : {} mem / {} cpu", report.mem_cycles, report.cpu_cycles);
+    println!(
+        "cycles    : {} mem / {} cpu",
+        report.mem_cycles, report.cpu_cycles
+    );
     for (i, (app, ipc)) in apps.iter().zip(&report.ipc).enumerate() {
         println!("core {i}    : {app:<12} IPC = {ipc:.3}");
     }
@@ -40,7 +43,9 @@ fn main() {
     );
     println!(
         "ctrl      : {} row hits / {} misses / {} conflicts, {} back-offs",
-        report.ctrl.row_hits, report.ctrl.row_misses, report.ctrl.row_conflicts,
+        report.ctrl.row_hits,
+        report.ctrl.row_misses,
+        report.ctrl.row_conflicts,
         report.ctrl.back_offs
     );
     println!(

@@ -5,8 +5,8 @@
 //! cargo run --release --example trace_inspector -- 429.mcf
 //! ```
 
-use chronus::ctrl::AddressMapping;
 use chronus::cpu::Trace;
+use chronus::ctrl::AddressMapping;
 use chronus::dram::Geometry;
 use chronus::workloads::synthetic_app;
 
@@ -20,7 +20,11 @@ fn main() {
     println!("trace     : {}", trace.name);
     println!("entries   : {}", trace.entries.len());
     println!("instr.    : {}", trace.instructions());
-    println!("MPKI      : {:.2} (target {:.2})", trace.mpki(), app.profile().mpki);
+    println!(
+        "MPKI      : {:.2} (target {:.2})",
+        trace.mpki(),
+        app.profile().mpki
+    );
     println!("read frac : {:.2}", trace.read_fraction());
 
     // Text round-trip.

@@ -39,7 +39,9 @@ fn main() {
         let bound = chronus.map(|n| chronus_max_acts(n, 3));
         println!(
             "  {nrh:<8} {prac:<13} {:<14} max A(i) = {}",
-            chronus.map(|n| n.to_string()).unwrap_or_else(|| "none".into()),
+            chronus
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "none".into()),
             bound.map(|b| b.to_string()).unwrap_or_else(|| "-".into())
         );
     }

@@ -29,7 +29,13 @@ fn baseline_is_vulnerable_to_double_sided_hammer() {
     // Negative control: without mitigation the oracle must observe counts
     // beyond N_RH.
     let nrh = 64;
-    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 0), 500, 4_000);
+    let t = double_sided_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(0, 0, 0),
+        500,
+        4_000,
+    );
     let r = attack_run(MechanismKind::None, nrh, t);
     assert!(
         r.oracle_max_acts.unwrap() >= nrh,
@@ -42,7 +48,13 @@ fn baseline_is_vulnerable_to_double_sided_hammer() {
 #[test]
 fn chronus_bounds_double_sided_hammer() {
     let nrh = 64;
-    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 0), 500, 6_000);
+    let t = double_sided_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(0, 0, 0),
+        500,
+        6_000,
+    );
     let r = attack_run(MechanismKind::Chronus, nrh, t);
     let max = r.oracle_max_acts.unwrap();
     assert!(max < nrh, "Chronus let a row reach {max} ≥ {nrh}");
@@ -53,7 +65,13 @@ fn chronus_bounds_double_sided_hammer() {
 #[test]
 fn prac4_bounds_double_sided_hammer() {
     let nrh = 64;
-    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(0, 1, 0), 777, 6_000);
+    let t = double_sided_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(0, 1, 0),
+        777,
+        6_000,
+    );
     let r = attack_run(MechanismKind::Prac4, nrh, t);
     let max = r.oracle_max_acts.unwrap();
     assert!(max < nrh, "PRAC-4 let a row reach {max} ≥ {nrh}");
@@ -65,7 +83,13 @@ fn chronus_survives_the_wave_attack() {
     let nrh = 64;
     // More decoys than the ATT can hold, hammered in balanced rounds.
     let rows: Vec<u32> = (0..32).map(|i| 2000 + i * 8).collect();
-    let t = wave_attack_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 1), &rows, 12_000);
+    let t = wave_attack_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(0, 0, 1),
+        &rows,
+        12_000,
+    );
     let r = attack_run(MechanismKind::Chronus, nrh, t);
     let max = r.oracle_max_acts.unwrap();
     assert!(max < nrh, "wave attack reached {max} ≥ {nrh}");
@@ -76,7 +100,13 @@ fn chronus_survives_the_wave_attack() {
 fn prac4_survives_the_wave_attack_at_its_secure_threshold() {
     let nrh = 64;
     let rows: Vec<u32> = (0..48).map(|i| 4000 + i * 8).collect();
-    let t = wave_attack_trace(AddressMapping::Mop, &geo(), BankId::new(0, 0, 2), &rows, 12_000);
+    let t = wave_attack_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(0, 0, 2),
+        &rows,
+        12_000,
+    );
     let r = attack_run(MechanismKind::Prac4, nrh, t);
     let max = r.oracle_max_acts.unwrap();
     assert!(max < nrh, "wave attack reached {max} ≥ {nrh}");
@@ -85,7 +115,13 @@ fn prac4_survives_the_wave_attack_at_its_secure_threshold() {
 #[test]
 fn graphene_bounds_the_hammer() {
     let nrh = 64;
-    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(1, 0, 0), 300, 6_000);
+    let t = double_sided_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(1, 0, 0),
+        300,
+        6_000,
+    );
     let r = attack_run(MechanismKind::Graphene, nrh, t);
     let max = r.oracle_max_acts.unwrap();
     assert!(max < nrh, "Graphene let a row reach {max} ≥ {nrh}");
@@ -95,7 +131,13 @@ fn graphene_bounds_the_hammer() {
 #[test]
 fn hydra_bounds_the_hammer() {
     let nrh = 64;
-    let t = double_sided_trace(AddressMapping::Mop, &geo(), BankId::new(1, 2, 0), 300, 6_000);
+    let t = double_sided_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(1, 2, 0),
+        300,
+        6_000,
+    );
     let r = attack_run(MechanismKind::Hydra, nrh, t);
     let max = r.oracle_max_acts.unwrap();
     assert!(max < nrh, "Hydra let a row reach {max} ≥ {nrh}");
@@ -137,7 +179,13 @@ fn chronus_respects_its_section8_bound() {
     // and A_normal = 3, the oracle must never see more than 63.
     let nrh = 64;
     let rows: Vec<u32> = (0..8).map(|i| 6000 + i * 16).collect();
-    let t = wave_attack_trace(AddressMapping::Mop, &geo(), BankId::new(1, 1, 1), &rows, 12_000);
+    let t = wave_attack_trace(
+        AddressMapping::Mop,
+        &geo(),
+        BankId::new(1, 1, 1),
+        &rows,
+        12_000,
+    );
     let r = attack_run(MechanismKind::Chronus, nrh, t);
     let max = r.oracle_max_acts.unwrap();
     assert!(max <= 63, "bound violated: {max} > N_BO + A_normal");

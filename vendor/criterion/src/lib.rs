@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the call surface of this workspace's benches —
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`,
+//! `Bencher::{iter, iter_batched}`, `criterion_group!`/`criterion_main!` —
+//! with a simple calibrated wall-clock loop instead of criterion's
+//! statistical machinery. Each benchmark prints a single
+//! `name ... <time>/iter` line.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored; kept for
+/// signature compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks (prefixes each name).
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint (ignored by the stub's time-bounded runner).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Measures one closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f` over a time-bounded number of iterations.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibrate with one iteration, then run until TARGET elapses.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let mut iters = 1u64;
+        while start.elapsed() < TARGET && iters < 100_000_000 {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < TARGET && iters < 100_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((spent, iters));
+    }
+
+    fn report(&self, name: &str) {
+        match self.measured {
+            Some((elapsed, iters)) if iters > 0 => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("bench {name:<50} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            _ => println!("bench {name:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy producing `Vec`s with lengths drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// A `Vec` strategy: element strategy plus a length range.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "collection::vec: empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.len.clone().sample(rng);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}

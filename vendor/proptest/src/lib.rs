@@ -1,0 +1,242 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`), range and
+//! tuple strategies, `prop::collection::vec`, `any`-style typed parameters
+//! (`x: u8`), and `prop_assert!`/`prop_assert_eq!`. Cases are sampled from
+//! a fixed-seed RNG; there is no shrinking — a failing case panics with
+//! the regular assertion message.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::{RngCore, SeedableRng, StdRng};
+
+pub mod collection;
+
+/// Test-case generator handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The fixed-seed generator used by the `proptest!` runner.
+    pub fn deterministic() -> Self {
+        Self(StdRng::seed_from_u64(0x5EED_CAFE_F00D_0001))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` samples.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// One sampled value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Types usable as bare typed parameters (`x: u8`) in `proptest!`.
+pub trait Arbitrary: Sized {
+    /// One uniform sample.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Everything a `proptest!`-based test file needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, Strategy};
+}
+
+/// The property-test runner macro.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $( #[test] fn $name:ident($($params:tt)*) $body:block )*
+    ) => {
+        $crate::proptest! { @with_cfg ($cfg) $( #[test] fn $name($($params)*) $body )* }
+    };
+    (
+        $( #[test] fn $name:ident($($params:tt)*) $body:block )*
+    ) => {
+        $crate::proptest! { @with_cfg ($crate::ProptestConfig::default())
+            $( #[test] fn $name($($params)*) $body )* }
+    };
+    (@with_cfg ($cfg:expr) $( #[test] fn $name:ident($($params:tt)*) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut __proptest_rng = $crate::TestRng::deterministic();
+                for __proptest_case in 0..cfg.cases {
+                    let _ = __proptest_case;
+                    $crate::__bind_params! { __proptest_rng; $($params)*; $body }
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: binds one test's parameter list, then runs the body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_params {
+    ($rng:ident; ; $body:block) => { $body };
+    ($rng:ident; $name:ident in $strat:expr; $body:block) => {{
+        let $name = $crate::Strategy::sample(&$strat, &mut $rng);
+        $body
+    }};
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {{
+        let $name = $crate::Strategy::sample(&$strat, &mut $rng);
+        $crate::__bind_params! { $rng; $($rest)* }
+    }};
+    ($rng:ident; $name:ident: $ty:ty; $body:block) => {{
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $body
+    }};
+    ($rng:ident; $name:ident: $ty:ty, $($rest:tt)*) => {{
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__bind_params! { $rng; $($rest)* }
+    }};
+}
+
+/// `prop_assert!`: plain assertion (no shrinking in the offline stub).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!`: plain equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!`: plain inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_bind(x in 0u32..10, y in 1u64..=4) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn typed_params_bind(x: u8) {
+            let wrapped = x.wrapping_add(1);
+            prop_assert_eq!(wrapped, x.wrapping_add(1));
+        }
+
+        #[test]
+        fn vec_of_tuples(v in prop::collection::vec((0u32..4, 0u32..4), 1..20) ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 4 && b < 4);
+            }
+        }
+    }
+}

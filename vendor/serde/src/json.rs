@@ -1,0 +1,160 @@
+//! Structured JSON text emission with optional pretty-printing.
+
+/// An append-only JSON writer. Callers must emit structurally valid
+/// sequences (`obj_begin`, `obj_key`, value, …); the writer only handles
+/// separators, indentation and string escaping.
+pub struct JsonWriter {
+    out: String,
+    pretty: bool,
+    /// One entry per open object/array: whether the next child is first.
+    first: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer; `pretty` enables two-space indentation.
+    pub fn new(pretty: bool) -> Self {
+        Self {
+            out: String::new(),
+            pretty,
+            first: Vec::new(),
+        }
+    }
+
+    /// Consumes the writer and returns the JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.first.len() {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn child_sep(&mut self) {
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+            self.newline_indent();
+        }
+    }
+
+    /// Opens an object value.
+    pub fn obj_begin(&mut self) {
+        self.out.push('{');
+        self.first.push(true);
+    }
+
+    /// Emits the separator and `"key": ` for the next member.
+    pub fn obj_key(&mut self, key: &str) {
+        self.child_sep();
+        self.escape_into(key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+
+    /// Closes the current object.
+    pub fn obj_end(&mut self) {
+        let had_children = !self.first.pop().unwrap_or(true);
+        if had_children {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens an array value.
+    pub fn arr_begin(&mut self) {
+        self.out.push('[');
+        self.first.push(true);
+    }
+
+    /// Emits the separator before the next array element.
+    pub fn arr_elem(&mut self) {
+        self.child_sep();
+    }
+
+    /// Closes the current array.
+    pub fn arr_end(&mut self) {
+        let had_children = !self.first.pop().unwrap_or(true);
+        if had_children {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes an escaped JSON string value.
+    pub fn string(&mut self, s: &str) {
+        self.escape_into(s);
+    }
+
+    /// Writes pre-rendered token text (numbers, `true`, `null`, …).
+    pub fn raw(&mut self, token: String) {
+        self.out.push_str(&token);
+    }
+
+    fn escape_into(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object() {
+        let mut w = JsonWriter::new(false);
+        w.obj_begin();
+        w.obj_key("a");
+        w.raw("1".into());
+        w.obj_key("b");
+        w.string("x");
+        w.obj_end();
+        assert_eq!(w.finish(), r#"{"a":1,"b":"x"}"#);
+    }
+
+    #[test]
+    fn pretty_object() {
+        let mut w = JsonWriter::new(true);
+        w.obj_begin();
+        w.obj_key("a");
+        w.arr_begin();
+        w.arr_elem();
+        w.raw("1".into());
+        w.arr_elem();
+        w.raw("2".into());
+        w.arr_end();
+        w.obj_end();
+        assert_eq!(w.finish(), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_flat() {
+        let mut w = JsonWriter::new(true);
+        w.obj_begin();
+        w.obj_end();
+        assert_eq!(w.finish(), "{}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a minimal serialization facade with the same surface the codebase uses:
+//! `#[derive(Serialize, Deserialize)]` plus `serde_json::to_string_pretty`.
+//! Instead of serde's full data model, [`Serialize`] writes JSON directly
+//! through a [`json::JsonWriter`]; the derive macros (re-exported from
+//! `serde_derive`) generate field-wise writers for plain structs and enums,
+//! which covers every type this repository serializes.
+
+pub mod json;
+
+pub use json::JsonWriter;
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can write itself as JSON.
+pub trait Serialize {
+    /// Appends `self` to `w` as one JSON value.
+    fn json_write(&self, w: &mut JsonWriter);
+}
+
+/// Marker trait kept so `#[derive(Deserialize)]` in downstream code keeps
+/// compiling; no deserialization is performed anywhere in the workspace.
+pub trait Deserialize {}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, w: &mut JsonWriter) {
+                w.raw(itoa_like(*self as i128));
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_write(&self, w: &mut JsonWriter) {
+                w.raw(utoa_like(*self as u128));
+            }
+        }
+    )*};
+}
+
+fn itoa_like(v: i128) -> String {
+    v.to_string()
+}
+
+fn utoa_like(v: u128) -> String {
+    v.to_string()
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+impl_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn json_write(&self, w: &mut JsonWriter) {
+        w.raw(if *self { "true".into() } else { "false".into() });
+    }
+}
+
+impl Serialize for f64 {
+    fn json_write(&self, w: &mut JsonWriter) {
+        if self.is_finite() {
+            let mut s = format!("{self}");
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                s.push_str(".0");
+            }
+            w.raw(s);
+        } else {
+            // JSON has no NaN/Inf; serde_json emits null for them too.
+            w.raw("null".into());
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json_write(&self, w: &mut JsonWriter) {
+        (*self as f64).json_write(w);
+    }
+}
+
+impl Serialize for str {
+    fn json_write(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn json_write(&self, w: &mut JsonWriter) {
+        w.string(self);
+    }
+}
+
+impl Serialize for char {
+    fn json_write(&self, w: &mut JsonWriter) {
+        w.string(&self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_write(&self, w: &mut JsonWriter) {
+        (**self).json_write(w);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json_write(&self, w: &mut JsonWriter) {
+        (**self).json_write(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_write(&self, w: &mut JsonWriter) {
+        match self {
+            None => w.raw("null".into()),
+            Some(v) => v.json_write(w),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_write(&self, w: &mut JsonWriter) {
+        w.arr_begin();
+        for v in self {
+            w.arr_elem();
+            v.json_write(w);
+        }
+        w.arr_end();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_write(&self, w: &mut JsonWriter) {
+        self.as_slice().json_write(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_write(&self, w: &mut JsonWriter) {
+        self.as_slice().json_write(w);
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_write(&self, w: &mut JsonWriter) {
+                w.arr_begin();
+                $( w.arr_elem(); self.$n.json_write(w); )+
+                w.arr_end();
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut w = JsonWriter::new(false);
+        v.json_write(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_json(&42u64), "42");
+        assert_eq!(to_json(&-7i32), "-7");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&1.0f64), "1.0");
+        assert_eq!(to_json(&f64::NAN), "null");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(to_json(&vec![1u32, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&Some(5u8)), "5");
+        assert_eq!(to_json(&Option::<u8>::None), "null");
+        assert_eq!(to_json(&(1u8, "x")), "[1,\"x\"]");
+        assert_eq!(to_json(&[1u64, 2]), "[1,2]");
+    }
+}

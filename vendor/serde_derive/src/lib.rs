@@ -1,0 +1,290 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Supports the shapes this workspace actually uses:
+//! non-generic structs with named fields, unit structs, and enums whose
+//! variants are unit, tuple, or struct-like. Generated JSON follows
+//! serde_json's default representation (`"Variant"`,
+//! `{"Variant": value}`, `{"Variant": {…}}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Generates a JSON `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("w.obj_begin();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "w.obj_key(\"{f}\");\nserde::Serialize::json_write(&self.{f}, w);\n"
+                ));
+            }
+            s.push_str("w.obj_end();\n");
+            s
+        }
+        Shape::UnitStruct => "w.raw(\"null\".to_string());\n".to_string(),
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                let ty = &p.name;
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        s.push_str(&format!("{ty}::{vn} => {{ w.string(\"{vn}\"); }}\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        s.push_str(&format!(
+                            "{ty}::{vn}(f0) => {{ w.obj_begin(); w.obj_key(\"{vn}\"); \
+                             serde::Serialize::json_write(f0, w); w.obj_end(); }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{ty}::{vn}({}) => {{ w.obj_begin(); w.obj_key(\"{vn}\"); w.arr_begin();\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "w.arr_elem(); serde::Serialize::json_write({b}, w);\n"
+                            ));
+                        }
+                        arm.push_str("w.arr_end(); w.obj_end(); }\n");
+                        s.push_str(&arm);
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut arm = format!(
+                            "{ty}::{vn} {{ {} }} => {{ w.obj_begin(); w.obj_key(\"{vn}\"); w.obj_begin();\n",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "w.obj_key(\"{f}\"); serde::Serialize::json_write({f}, w);\n"
+                            ));
+                        }
+                        arm.push_str("w.obj_end(); w.obj_end(); }\n");
+                        s.push_str(&arm);
+                    }
+                }
+            }
+            s.push_str("}\n");
+            s
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {} {{\n\
+         fn json_write(&self, w: &mut serde::JsonWriter) {{\n{}\n}}\n}}\n",
+        p.name, body
+    );
+    out.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+/// Generates the (empty) marker `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let p = parse(input);
+    format!("impl serde::Deserialize for {} {{}}\n", p.name)
+        .parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let kw = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let _bracket = toks.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional pub(crate)/pub(super) restriction group.
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                } else if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            other => panic!("derive: unexpected token {other:?}"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize): generic type {name} not supported by the offline stub");
+        }
+    }
+    let shape = if kw == "struct" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive(Serialize): tuple struct {name} not supported by the offline stub")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("derive: unexpected enum body {other:?}"),
+        }
+    };
+    Parsed { name, shape }
+}
+
+/// Field names from `a: T, pub b: U, …` (attributes allowed).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let name = loop {
+            match toks.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _bracket = toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("derive: unexpected field token {other:?}"),
+            }
+        };
+        fields.push(name);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected ':' after field, got {other:?}"),
+        }
+        // Consume the type: everything until a top-level comma. `<`/`>` in
+        // type position never nest via token trees, so track angle depth.
+        let mut angle: i32 = 0;
+        loop {
+            match toks.peek() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle -= 1;
+                    toks.next();
+                }
+                Some(_) => {
+                    toks.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        let name = loop {
+            match toks.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _bracket = toks.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => panic!("derive: unexpected variant token {other:?}"),
+            }
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple-variant body (top-level commas + 1; 0 for
+/// an empty body).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    if toks.peek().is_none() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle: i32 = 0;
+    let mut trailing_comma = false;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                n += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    if trailing_comma {
+        n -= 1;
+    }
+    n
+}

@@ -1,0 +1,52 @@
+//! Offline stand-in for `serde_json`: renders any vendored-`serde`
+//! `Serialize` value to JSON text. Only the output half is implemented —
+//! nothing in this workspace parses JSON back.
+
+use serde::{JsonWriter, Serialize};
+
+/// Serialization error. The vendored writer is infallible, so this type
+/// exists purely for signature compatibility.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON text for `value`.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(false);
+    value.json_write(&mut w);
+    Ok(w.finish())
+}
+
+/// Pretty-printed (two-space indented) JSON text for `value`.
+///
+/// # Errors
+///
+/// Never fails; the `Result` mirrors serde_json's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = JsonWriter::new(true);
+    value.json_write(&mut w);
+    Ok(w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_pretty() {
+        let v = vec![1u32, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+    }
+}
