@@ -17,7 +17,11 @@ fn tiny_opts() -> HarnessOpts {
         threads: 8,
         seed: 7,
         nrh_list: vec![1024, 32],
-        out: None,
+        // Bypass the grid result store so every iteration really
+        // simulates, and keep progress lines out of bench output.
+        no_cache: true,
+        quiet: true,
+        ..HarnessOpts::default()
     }
 }
 

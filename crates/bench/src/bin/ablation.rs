@@ -6,81 +6,13 @@
 //! is exactly what lets an attacker trigger preventive refreshes cheaply.
 //! Chronus, immune to the wave attack, keeps `N_BO` near `N_RH`.
 
-use chronus_bench::{format_table, write_json, HarnessOpts};
-use chronus_core::MechanismKind;
-use chronus_ctrl::AddressMapping;
-use chronus_dram::Geometry;
-use chronus_sim::{run_parallel, SimConfig, System};
-use chronus_workloads::{perf_attack_trace, synthetic_app};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    mechanism: String,
-    nbo: u32,
-    secure: bool,
-    benign_ws_loss: f64,
-    back_offs: u64,
-    rfms: u64,
-}
+use chronus_bench::grids::{AblationGrid, ABLATION_NRH};
+use chronus_bench::{execute, format_table, write_json, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args("ablation");
-    let nrh = 20;
-    let nbos = [1u32, 2, 4, 8, 16];
-    let mut jobs = Vec::new();
-    for &mech in &[MechanismKind::Prac4, MechanismKind::Chronus] {
-        for &nbo in &nbos {
-            jobs.push((mech, nbo));
-        }
-    }
-    let rows: Vec<Row> = run_parallel(jobs, opts.threads, |(mech, nbo)| {
-        let geo = Geometry::ddr5();
-        let build = |attacker: bool| {
-            let mut traces: Vec<_> = ["470.lbm", "tpch2", "473.astar"]
-                .iter()
-                .enumerate()
-                .map(|(i, n)| {
-                    synthetic_app(n, i as u64)
-                        .unwrap()
-                        .generate(opts.instructions + 5_000, opts.seed)
-                })
-                .collect();
-            if attacker {
-                traces.push(perf_attack_trace(
-                    AddressMapping::Mop,
-                    &geo,
-                    4,
-                    8,
-                    (opts.instructions + 5_000) as usize,
-                ));
-            } else {
-                traces.push(
-                    synthetic_app("548.exchange2", 3)
-                        .unwrap()
-                        .generate(opts.instructions + 5_000, opts.seed),
-                );
-            }
-            traces
-        };
-        let mut cfg = SimConfig::four_core();
-        cfg.instructions_per_core = opts.instructions;
-        cfg.mechanism = mech;
-        cfg.nrh = nrh;
-        cfg.threshold_override = Some(nbo);
-        cfg.max_mem_cycles = opts.instructions.saturating_mul(8000).max(1 << 22);
-        let calm = System::build(&cfg).run(build(false));
-        let attacked = System::build(&cfg).run(build(true));
-        let ws = |r: &chronus_sim::SimReport| r.ipc[..3].iter().sum::<f64>();
-        Row {
-            mechanism: mech.label().to_string(),
-            nbo,
-            secure: attacked.secure,
-            benign_ws_loss: (1.0 - ws(&attacked) / ws(&calm)).max(0.0),
-            back_offs: attacked.ctrl.back_offs,
-            rfms: attacked.dram.rfms,
-        }
-    });
+    let grid = AblationGrid::build(&opts);
+    let rows = grid.rows(&execute(&grid.spec, &opts));
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -94,7 +26,7 @@ fn main() {
             ]
         })
         .collect();
-    println!("Ablation: N_BO vs performance-attack damage at N_RH = {nrh}");
+    println!("Ablation: N_BO vs performance-attack damage at N_RH = {ABLATION_NRH}");
     println!(
         "{}",
         format_table(

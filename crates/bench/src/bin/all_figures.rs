@@ -1,11 +1,45 @@
-//! Runs every analytical artefact and prints a manifest of the
-//! simulation-driven binaries (which are invoked individually so their
-//! flags can be tuned per experiment).
+//! Runs every artefact of the paper in sequence.
+//!
+//! All simulation-driven binaries share the content-addressed grid result
+//! store, so `all_figures` is incremental and restartable: interrupt it
+//! anywhere and the next invocation re-simulates only the cells that never
+//! finished; a second complete run performs zero simulations. Flags after
+//! the binary name (e.g. `--instructions`, `--grid-dir`, `--shard`,
+//! `--quiet`) are forwarded verbatim to every simulation binary;
+//! `--quick` prepends a scaled-down flag set (your own flags win).
 
 use std::process::Command;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--quick" {
+            quick = true;
+        } else if a == "--out" {
+            // One shared --out would make every child overwrite the same
+            // file; per-figure JSON needs per-figure invocations.
+            let _ = args.next();
+            eprintln!(
+                "all_figures: ignoring --out (each figure would overwrite it); \
+                 run the individual binaries with --out instead"
+            );
+        } else {
+            forwarded.push(a);
+        }
+    }
+    // User flags come last so they override the quick-mode defaults.
+    let mut sim_args: Vec<String> = Vec::new();
+    if quick {
+        sim_args.extend(
+            ["--instructions", "8000", "--mixes", "1", "--nrh", "1024,32"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+    }
+    sim_args.extend(forwarded);
+
     let bins_analytical = ["table1", "table2", "table3", "fig3", "fig11", "fig13"];
     let bins_sim = [
         "fig4",
@@ -22,16 +56,10 @@ fn main() {
         println!("\n================ {bin} ================");
         run(bin, &[]);
     }
+    let sim_args_ref: Vec<&str> = sim_args.iter().map(String::as_str).collect();
     for bin in bins_sim {
         println!("\n================ {bin} ================");
-        if quick {
-            run(
-                bin,
-                &["--instructions", "8000", "--mixes", "1", "--nrh", "1024,32"],
-            );
-        } else {
-            run(bin, &[]);
-        }
+        run(bin, &sim_args_ref);
     }
 }
 

@@ -1,12 +1,19 @@
 //! Fig. 10: normalised DRAM energy of the headline mechanisms across N_RH.
 
 use chronus_bench::runs::pivot_geomean;
-use chronus_bench::{format_table, sweep_mixes, write_json, HarnessOpts};
+use chronus_bench::{execute, format_table, write_json, HarnessOpts, MixSweep};
 use chronus_core::MechanismKind;
 
 fn main() {
     let opts = HarnessOpts::from_args("fig10");
-    let rows = sweep_mixes(MechanismKind::headline(), &opts.nrh_list, &opts);
+    let sweep = MixSweep::build(
+        "fig10",
+        MechanismKind::headline(),
+        &opts.nrh_list,
+        &opts,
+        &|_| {},
+    );
+    let rows = sweep.rows(&execute(&sweep.spec, &opts));
     let mut headers = vec!["mechanism".to_string()];
     headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

@@ -1,73 +1,14 @@
 //! Fig. 12 (Appendix C): Chronus vs ABACuS on the four-core mixes, both
 //! evaluated under ABACuS's address mapping.
 
-use chronus_bench::runs::{mix_traces, pivot_geomean, SweepRow};
-use chronus_bench::{format_table, write_json, HarnessOpts};
-use chronus_core::MechanismKind;
-use chronus_ctrl::AddressMapping;
-use chronus_sim::system::alone_ipc;
-use chronus_sim::{run_parallel, SimConfig, System};
-use chronus_workloads::four_core_mixes;
+use chronus_bench::grids::fig12_sweep;
+use chronus_bench::runs::pivot_geomean;
+use chronus_bench::{execute, format_table, write_json, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args("fig12");
-    let mixes = four_core_mixes(opts.mixes_per_class, opts.seed);
-    let mechs = [MechanismKind::Chronus, MechanismKind::Abacus];
-    let run = |mix_apps: &[chronus_workloads::AppProfile],
-               mech: MechanismKind,
-               nrh: u32|
-     -> chronus_sim::SimReport {
-        let mut cfg = SimConfig::four_core();
-        cfg.instructions_per_core = opts.instructions;
-        cfg.mechanism = mech;
-        cfg.nrh = nrh;
-        cfg.seed = opts.seed;
-        cfg.mapping = Some(AddressMapping::AbacusMop);
-        cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
-        let traces = mix_traces(mix_apps, opts.instructions, opts.seed);
-        System::build(&cfg).run(traces)
-    };
-
-    // Baselines under the ABACuS mapping.
-    let contexts = run_parallel(mixes.clone(), opts.threads, |mix| {
-        let traces = mix_traces(&mix.apps, opts.instructions, opts.seed);
-        let mut single = SimConfig::single_core();
-        single.instructions_per_core = opts.instructions;
-        single.mapping = Some(AddressMapping::AbacusMop);
-        single.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
-        let ipc_alone: Vec<f64> = traces
-            .iter()
-            .map(|t| alone_ipc(t.clone(), &single))
-            .collect();
-        let baseline = run(&mix.apps, MechanismKind::None, 1024);
-        (mix, ipc_alone, baseline)
-    });
-
-    let mut jobs = Vec::new();
-    for i in 0..contexts.len() {
-        for &mech in &mechs {
-            for &nrh in &opts.nrh_list {
-                jobs.push((i, mech, nrh));
-            }
-        }
-    }
-    let ctx = &contexts;
-    let rows: Vec<SweepRow> = run_parallel(jobs, opts.threads, move |(i, mech, nrh)| {
-        let (mix, ipc_alone, baseline) = &ctx[i];
-        let report = run(&mix.apps, mech, nrh);
-        let base_ws = baseline.weighted_speedup(ipc_alone);
-        SweepRow {
-            workload: mix.name.clone(),
-            class: mix.class.label(),
-            mechanism: report.mechanism.clone(),
-            nrh,
-            ws_norm: report.weighted_speedup(ipc_alone) / base_ws,
-            energy_norm: report.energy_normalized_to(baseline),
-            secure: report.secure,
-            back_offs: report.ctrl.back_offs,
-            preventive_rows: report.dram.vrrs + report.dram.rfm_victim_rows,
-        }
-    });
+    let sweep = fig12_sweep(&opts);
+    let rows = sweep.rows(&execute(&sweep.spec, &opts));
     let mut headers = vec!["mechanism".to_string()];
     headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

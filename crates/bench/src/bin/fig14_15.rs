@@ -1,15 +1,16 @@
 //! Fig. 14 + Fig. 15 (Appendix E): PRAC-4 on 23 eight-core homogeneous
 //! SPEC CPU2017 workloads with the 4.5× larger LLC of [Kim+, CAL'25].
 
-use chronus_bench::runs::{pivot_geomean, sweep_single_core};
-use chronus_bench::{format_table, write_json, HarnessOpts};
+use chronus_bench::runs::pivot_geomean;
+use chronus_bench::{execute, format_table, write_json, AppSweep, HarnessOpts};
 use chronus_core::MechanismKind;
 use chronus_workloads::eight_core_spec17_profiles;
 
 fn main() {
     let opts = HarnessOpts::from_args("fig14_15");
     let apps = eight_core_spec17_profiles();
-    let rows = sweep_single_core(
+    let sweep = AppSweep::build(
+        "fig14_15",
         &apps,
         &[MechanismKind::Prac4],
         &opts.nrh_list,
@@ -17,6 +18,7 @@ fn main() {
         8,
         true,
     );
+    let rows = sweep.rows(&execute(&sweep.spec, &opts));
     let mut headers = vec!["mechanism".to_string()];
     headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

@@ -2,7 +2,7 @@
 //! four-core workloads (normalised weighted speedup vs N_RH).
 
 use chronus_bench::runs::pivot_geomean;
-use chronus_bench::{format_table, sweep_mixes, write_json, HarnessOpts};
+use chronus_bench::{execute, format_table, write_json, HarnessOpts, MixSweep};
 use chronus_core::MechanismKind;
 
 fn main() {
@@ -14,7 +14,8 @@ fn main() {
         MechanismKind::PracPrfm,
         MechanismKind::Prfm,
     ];
-    let rows = sweep_mixes(&mechs, &opts.nrh_list, &opts);
+    let sweep = MixSweep::build("fig4", &mechs, &opts.nrh_list, &opts, &|_| {});
+    let rows = sweep.rows(&execute(&sweep.spec, &opts));
     let mut headers = vec!["mechanism".to_string()];
     headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

@@ -1,18 +1,17 @@
 //! Fig. 7: single-core performance of the seven headline mechanisms at
 //! N_RH = 1024 and 32, across the 57-application roster.
 
-use chronus_bench::runs::sweep_single_core;
-use chronus_bench::{format_table, geomean, write_json, HarnessOpts};
+use chronus_bench::grids::fig7_nrh_list;
+use chronus_bench::{execute, format_table, geomean, write_json, AppSweep, HarnessOpts};
 use chronus_core::MechanismKind;
 use chronus_workloads::all_profiles;
 
 fn main() {
     let mut opts = HarnessOpts::from_args("fig7");
-    if opts.nrh_list.len() > 2 {
-        opts.nrh_list = vec![1024, 32];
-    }
+    opts.nrh_list = fig7_nrh_list(&opts);
     let apps = all_profiles();
-    let rows = sweep_single_core(
+    let sweep = AppSweep::build(
+        "fig7",
         &apps,
         MechanismKind::headline(),
         &opts.nrh_list,
@@ -20,6 +19,7 @@ fn main() {
         1,
         false,
     );
+    let rows = sweep.rows(&execute(&sweep.spec, &opts));
     for &nrh in &opts.nrh_list {
         println!("\nFig. 7 (N_RH = {nrh}): normalized speedup per application");
         let mut mech_order: Vec<String> = Vec::new();

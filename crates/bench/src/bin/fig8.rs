@@ -2,12 +2,19 @@
 //! across N_RH on the four-core mixes.
 
 use chronus_bench::runs::pivot_geomean;
-use chronus_bench::{format_table, sweep_mixes, write_json, HarnessOpts};
+use chronus_bench::{execute, format_table, write_json, HarnessOpts, MixSweep};
 use chronus_core::MechanismKind;
 
 fn main() {
     let opts = HarnessOpts::from_args("fig8");
-    let rows = sweep_mixes(MechanismKind::headline(), &opts.nrh_list, &opts);
+    let sweep = MixSweep::build(
+        "fig8",
+        MechanismKind::headline(),
+        &opts.nrh_list,
+        &opts,
+        &|_| {},
+    );
+    let rows = sweep.rows(&execute(&sweep.spec, &opts));
     let mut headers = vec!["mechanism".to_string()];
     headers.extend(opts.nrh_list.iter().map(|n| format!("N_RH={n}")));
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();

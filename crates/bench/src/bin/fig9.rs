@@ -1,12 +1,13 @@
 //! Fig. 9: per-intensity-class breakdown at N_RH = 32.
 
-use chronus_bench::{format_table, geomean, sweep_mixes, write_json, HarnessOpts};
+use chronus_bench::{execute, format_table, geomean, write_json, HarnessOpts, MixSweep};
 use chronus_core::MechanismKind;
 
 fn main() {
     let mut opts = HarnessOpts::from_args("fig9");
     opts.nrh_list = vec![32];
-    let rows = sweep_mixes(MechanismKind::headline(), &[32], &opts);
+    let sweep = MixSweep::build("fig9", MechanismKind::headline(), &[32], &opts, &|_| {});
+    let rows = sweep.rows(&execute(&sweep.spec, &opts));
     let classes = ["HHHH", "HHMM", "LLHH", "MMMM", "MMLL", "LLLL"];
     let mut mech_order: Vec<String> = Vec::new();
     for r in &rows {

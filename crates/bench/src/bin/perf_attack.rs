@@ -5,30 +5,13 @@
 //! system-performance loss when one core hammers 8 rows in each of 4
 //! banks next to three benign applications.
 
-use chronus_bench::{format_table, geomean, write_json, HarnessOpts};
-use chronus_core::MechanismKind;
-use chronus_cpu::Trace;
-use chronus_ctrl::AddressMapping;
+use chronus_bench::grids::{perf_attack_nrh_list, PerfAttackGrid};
+use chronus_bench::{execute, format_table, write_json, HarnessOpts};
 use chronus_security::{chronus_secure_nbo, dbc_chronus, dbc_prac};
-use chronus_sim::{run_parallel, SimConfig, System};
-use chronus_workloads::generator::synthetic_from_profile;
-use chronus_workloads::{four_core_mixes, perf_attack_trace};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct AttackRow {
-    mechanism: String,
-    nrh: u32,
-    ws_loss_avg: f64,
-    ws_loss_max: f64,
-    max_slowdown: f64,
-}
 
 fn main() {
     let mut opts = HarnessOpts::from_args("perf_attack");
-    if opts.nrh_list.len() > 2 {
-        opts.nrh_list = vec![128, 20];
-    }
+    opts.nrh_list = perf_attack_nrh_list(&opts);
 
     // ---- Theoretical DBC (§11) ----
     println!("§11 theoretical DRAM bandwidth consumption by preventive refreshes (N_RH = 20):");
@@ -44,69 +27,8 @@ fn main() {
     // PRAC-4 runs at the paper's published N_BO = 1 (its wave-secure
     // configuration per the paper's more pessimistic attack model);
     // Chronus at its derived threshold.
-    let mixes = four_core_mixes(opts.mixes_per_class, opts.seed);
-    let mechs = [
-        (MechanismKind::Prac4, Some(1u32)),
-        (MechanismKind::Chronus, None),
-    ];
-    let mut rows = Vec::new();
-    for &(mech, nbo_override) in &mechs {
-        for &nrh in &opts.nrh_list {
-            let results = run_parallel(mixes.clone(), opts.threads, |mix| {
-                // Three benign cores + one attacker core.
-                let mut traces: Vec<Trace> = mix.apps[..3]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| {
-                        synthetic_from_profile(*p, i as u64)
-                            .generate(opts.instructions + opts.instructions / 10, opts.seed)
-                    })
-                    .collect();
-                let geo = chronus_dram::Geometry::ddr5();
-                traces.push(perf_attack_trace(
-                    AddressMapping::Mop,
-                    &geo,
-                    4,
-                    8,
-                    (opts.instructions + opts.instructions / 10) as usize,
-                ));
-                let mut cfg = SimConfig::four_core();
-                cfg.instructions_per_core = opts.instructions;
-                cfg.mechanism = mech;
-                cfg.nrh = nrh;
-                cfg.threshold_override = nbo_override;
-                cfg.seed = opts.seed;
-                cfg.max_mem_cycles = opts.instructions.saturating_mul(6000).max(1 << 22);
-                let attacked = System::build(&cfg).run(traces.clone());
-                // Reference: same mechanism, attacker replaced by an idle-ish
-                // trace (the lightest app), isolating the attack's cost.
-                let mut calm = traces;
-                calm[3] = synthetic_from_profile(
-                    chronus_workloads::profile_by_name("548.exchange2").unwrap(),
-                    3,
-                )
-                .generate(opts.instructions + opts.instructions / 10, opts.seed);
-                let reference = System::build(&cfg).run(calm);
-                let benign_ws = |r: &chronus_sim::SimReport| r.ipc[..3].iter().sum::<f64>();
-                let loss = 1.0 - benign_ws(&attacked) / benign_ws(&reference);
-                let slow = attacked.ipc[..3]
-                    .iter()
-                    .zip(&reference.ipc[..3])
-                    .map(|(a, b)| 1.0 - a / b)
-                    .fold(f64::MIN, f64::max);
-                (loss.max(0.0), slow.max(0.0))
-            });
-            let losses: Vec<f64> = results.iter().map(|r| r.0.max(1e-9)).collect();
-            let row = AttackRow {
-                mechanism: mech.label().to_string(),
-                nrh,
-                ws_loss_avg: geomean(&losses),
-                ws_loss_max: losses.iter().copied().fold(f64::MIN, f64::max),
-                max_slowdown: results.iter().map(|r| r.1).fold(f64::MIN, f64::max),
-            };
-            rows.push(row);
-        }
-    }
+    let grid = PerfAttackGrid::build(&opts);
+    let rows = grid.rows(&execute(&grid.spec, &opts));
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

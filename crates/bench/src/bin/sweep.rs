@@ -1,0 +1,240 @@
+//! `chronus-sweep` — the experiment-grid console.
+//!
+//! ```text
+//! chronus-sweep list   [grid]   [flags]   show grids, or one grid's cells
+//! chronus-sweep run    <grid|all> [flags] execute (respects --shard i/N)
+//! chronus-sweep status <grid|all> [flags] cache accounting, no simulation
+//! chronus-sweep merge  <grid> [flags]     assemble a complete grid from
+//!                                         the store (--out FILE for JSON)
+//! chronus-sweep gc     [flags]            drop store entries no current
+//!                                         grid references
+//! ```
+//!
+//! Flags are the shared harness flags (`--instructions`, `--mixes`,
+//! `--seed`, `--nrh`, `--threads`, `--shard`, `--grid-dir`, `--no-cache`,
+//! `--quiet`, `--out`). Grid specs are derived from these flags, so `gc`
+//! keeps exactly the cells the same flags would run.
+//!
+//! The two-machine workflow:
+//!
+//! ```text
+//! machine A$ chronus-sweep run fig8 --shard 1/2 --grid-dir store
+//! machine B$ chronus-sweep run fig8 --shard 2/2 --grid-dir store
+//! # copy store/ together (files are content-addressed; union is safe)
+//! machine A$ chronus-sweep merge fig8 --grid-dir store --out fig8.json
+//! ```
+
+use std::collections::HashSet;
+
+use chronus_bench::grids::{build_spec, GRID_NAMES};
+use chronus_bench::opts::{HarnessOpts, ParseOutcome, VALUELESS_FLAGS};
+use chronus_bench::{format_table, write_json};
+use chronus_grid::{merge, run_grid, GridSpec, ResultStore};
+
+fn usage() -> String {
+    format!(
+        "chronus-sweep: experiment-grid console (list | run | status | merge | gc)\n\
+         grids: {}  (or 'all')\n{}",
+        GRID_NAMES.join(" "),
+        HarnessOpts::usage("chronus-sweep")
+    )
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("chronus-sweep: {msg}");
+    eprintln!("try --help");
+    std::process::exit(2);
+}
+
+fn main() {
+    // Positionals (subcommand, grid) come first; everything else is the
+    // shared flag set.
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        if a.starts_with('-') {
+            flags.push(a.clone());
+            // Flags with values: forward the value too.
+            if !VALUELESS_FLAGS.contains(&a.as_str()) {
+                if let Some(v) = args.next() {
+                    flags.push(v);
+                }
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    let opts = match HarnessOpts::parse_from(flags) {
+        Ok(o) => o,
+        Err(ParseOutcome::Help) => {
+            eprintln!("{}", usage());
+            std::process::exit(0);
+        }
+        Err(ParseOutcome::Invalid(msg)) => fail(&msg),
+    };
+    let command = positional.first().map(String::as_str).unwrap_or("list");
+    let grid_arg = positional.get(1).map(String::as_str);
+
+    match command {
+        "list" => list(grid_arg, &opts),
+        "run" => run(grid_arg, &opts),
+        "status" => status(grid_arg, &opts),
+        "merge" => merge_cmd(grid_arg, &opts),
+        "gc" => gc(&opts),
+        other => fail(&format!("unknown command '{other}'")),
+    }
+}
+
+fn store_of(opts: &HarnessOpts) -> ResultStore {
+    chronus_bench::runs::open_store(opts)
+}
+
+/// Resolves `all` / a name / `None` into specs.
+fn specs_for(grid_arg: Option<&str>, opts: &HarnessOpts) -> Vec<GridSpec> {
+    match grid_arg {
+        None | Some("all") => GRID_NAMES
+            .iter()
+            .map(|n| build_spec(n, opts).expect("registered grid"))
+            .collect(),
+        Some(name) => match build_spec(name, opts) {
+            Some(spec) => vec![spec],
+            None => fail(&format!(
+                "unknown grid '{name}' (known: {} or 'all')",
+                GRID_NAMES.join(" ")
+            )),
+        },
+    }
+}
+
+fn list(grid_arg: Option<&str>, opts: &HarnessOpts) {
+    let store = store_of(opts);
+    match grid_arg {
+        None | Some("all") => {
+            let mut rows = Vec::new();
+            for spec in specs_for(Some("all"), opts) {
+                let hashes = spec.hashes();
+                let cached = hashes.iter().filter(|h| store.contains(h)).count();
+                rows.push(vec![
+                    spec.name.clone(),
+                    spec.len().to_string(),
+                    cached.to_string(),
+                    (spec.len() - cached).to_string(),
+                ]);
+            }
+            println!(
+                "{}",
+                format_table(&["grid", "cells", "cached", "missing"], &rows)
+            );
+        }
+        Some(_) => {
+            let spec = specs_for(grid_arg, opts).remove(0);
+            let hashes = spec.hashes();
+            let rows: Vec<Vec<String>> = spec
+                .cells
+                .iter()
+                .zip(&hashes)
+                .enumerate()
+                .map(|(i, (cell, hash))| {
+                    vec![
+                        i.to_string(),
+                        hash.clone(),
+                        if store.contains(hash) { "yes" } else { "no" }.into(),
+                        cell.label.clone(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                format_table(&["cell", "hash", "cached", "label"], &rows)
+            );
+        }
+    }
+}
+
+fn run(grid_arg: Option<&str>, opts: &HarnessOpts) {
+    let store = (!opts.no_cache).then(|| store_of(opts));
+    let exec = chronus_bench::runs::exec_opts(opts);
+    for spec in specs_for(grid_arg, opts) {
+        let outcome = run_grid(&spec, store.as_ref(), &exec);
+        println!(
+            "chronus-sweep: grid={} shard={} {} wall={:.1}s",
+            spec.name,
+            opts.shard,
+            outcome.stats.summary(),
+            outcome.wall_seconds
+        );
+    }
+}
+
+fn status(grid_arg: Option<&str>, opts: &HarnessOpts) {
+    let store = store_of(opts);
+    for spec in specs_for(grid_arg, opts) {
+        let hashes = spec.hashes();
+        let cached = hashes.iter().filter(|h| store.contains(h)).count();
+        println!(
+            "chronus-sweep: grid={} cells={} cached={} missing={}",
+            spec.name,
+            hashes.len(),
+            cached,
+            hashes.len() - cached
+        );
+    }
+}
+
+fn merge_cmd(grid_arg: Option<&str>, opts: &HarnessOpts) {
+    let Some(name) = grid_arg else {
+        fail("merge needs a grid name");
+    };
+    let store = store_of(opts);
+    let specs = specs_for(Some(name), opts);
+    if opts.out.is_some() && specs.len() > 1 {
+        fail("merge --out needs a single grid name, not 'all' (each grid is one JSON file)");
+    }
+    for spec in specs {
+        match merge(&spec, &store) {
+            Ok(reports) => {
+                println!(
+                    "chronus-sweep: grid={} merged={} cells from {}",
+                    spec.name,
+                    reports.len(),
+                    store.dir().display()
+                );
+                if let Some(path) = &opts.out {
+                    write_json(path, &reports);
+                }
+            }
+            Err(missing) => {
+                let labels: Vec<String> = missing
+                    .iter()
+                    .take(8)
+                    .map(|&i| spec.cells[i].label.clone())
+                    .collect();
+                fail(&format!(
+                    "grid '{}' incomplete: {} of {} cells missing (first: {}) — run the \
+                     remaining shards first",
+                    spec.name,
+                    missing.len(),
+                    spec.len(),
+                    labels.join(", ")
+                ));
+            }
+        }
+    }
+}
+
+fn gc(opts: &HarnessOpts) {
+    let store = store_of(opts);
+    let mut keep: HashSet<String> = HashSet::new();
+    for spec in specs_for(Some("all"), opts) {
+        keep.extend(spec.hashes());
+    }
+    match store.gc(&keep) {
+        Ok(removed) => println!(
+            "chronus-sweep: gc removed {removed} entries from {} ({} kept)",
+            store.dir().display(),
+            keep.len()
+        ),
+        Err(e) => fail(&format!("gc failed: {e}")),
+    }
+}

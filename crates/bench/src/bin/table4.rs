@@ -1,81 +1,25 @@
 //! Table 4 (Appendix E): PRAC overheads before and after the timing-bug
 //! fix — the pre-erratum runs leave tRAS/tRTP/tWR unreduced.
 
-use chronus_bench::runs::{mix_traces, run_mix};
-use chronus_bench::{format_table, geomean, write_json, HarnessOpts};
-use chronus_core::MechanismKind;
-use chronus_dram::TimingMode;
-use chronus_sim::{run_parallel, SimConfig, System};
-use chronus_workloads::four_core_mixes;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    nrh: u32,
-    four_core_overhead_old: f64,
-    four_core_overhead_new: f64,
-    energy_overhead_old: f64,
-    energy_overhead_new: f64,
-}
+use chronus_bench::grids::Table4Grid;
+use chronus_bench::{execute, format_table, write_json, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args("table4");
-    let mixes = four_core_mixes(opts.mixes_per_class, opts.seed);
-
-    let run_with = |apps: &[chronus_workloads::AppProfile], nrh: u32, mode: Option<TimingMode>| {
-        let mut cfg = SimConfig::four_core();
-        cfg.instructions_per_core = opts.instructions;
-        cfg.mechanism = MechanismKind::Prac4;
-        cfg.nrh = nrh;
-        cfg.seed = opts.seed;
-        cfg.timing_override = mode;
-        cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
-        System::build(&cfg).run(mix_traces(apps, opts.instructions, opts.seed))
-    };
-
-    let baselines = run_parallel(mixes.clone(), opts.threads, |mix| {
-        run_mix(&mix.apps, MechanismKind::None, 1024, &opts)
-    });
-
-    let mut out = Vec::new();
-    let mut table = Vec::new();
-    for &nrh in &opts.nrh_list {
-        let results = run_parallel(
-            mixes.iter().cloned().enumerate().collect::<Vec<_>>(),
-            opts.threads,
-            |(i, mix)| {
-                let old = run_with(&mix.apps, nrh, Some(TimingMode::PracBuggy));
-                let new = run_with(&mix.apps, nrh, None);
-                let base = &baselines[i];
-                let ipc_sum = |r: &chronus_sim::SimReport| r.ipc.iter().sum::<f64>();
-                (
-                    ipc_sum(&old) / ipc_sum(base),
-                    ipc_sum(&new) / ipc_sum(base),
-                    old.energy_normalized_to(base),
-                    new.energy_normalized_to(base),
-                )
-            },
-        );
-        let perf_old: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let perf_new: Vec<f64> = results.iter().map(|r| r.1).collect();
-        let e_old: Vec<f64> = results.iter().map(|r| r.2).collect();
-        let e_new: Vec<f64> = results.iter().map(|r| r.3).collect();
-        let row = Row {
-            nrh,
-            four_core_overhead_old: 1.0 - geomean(&perf_old),
-            four_core_overhead_new: 1.0 - geomean(&perf_new),
-            energy_overhead_old: geomean(&e_old) - 1.0,
-            energy_overhead_new: geomean(&e_new) - 1.0,
-        };
-        table.push(vec![
-            nrh.to_string(),
-            format!("{:.1}%", row.four_core_overhead_old * 100.0),
-            format!("{:.1}%", row.four_core_overhead_new * 100.0),
-            format!("{:.1}%", row.energy_overhead_old * 100.0),
-            format!("{:.1}%", row.energy_overhead_new * 100.0),
-        ]);
-        out.push(row);
-    }
+    let grid = Table4Grid::build(&opts);
+    let rows = grid.rows(&execute(&grid.spec, &opts));
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                row.nrh.to_string(),
+                format!("{:.1}%", row.four_core_overhead_old * 100.0),
+                format!("{:.1}%", row.four_core_overhead_new * 100.0),
+                format!("{:.1}%", row.energy_overhead_old * 100.0),
+                format!("{:.1}%", row.energy_overhead_new * 100.0),
+            ]
+        })
+        .collect();
     println!("Table 4: PRAC-4 overheads, pre-erratum (old) vs fixed (new) timings");
     println!(
         "{}",
@@ -85,6 +29,6 @@ fn main() {
         )
     );
     if let Some(path) = opts.out {
-        write_json(&path, &out);
+        write_json(&path, &rows);
     }
 }

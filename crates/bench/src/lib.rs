@@ -1,5 +1,5 @@
 //! Benchmark-harness library: shared orchestration for the per-figure
-//! binaries.
+//! binaries, built on the `chronus-grid` experiment engine.
 //!
 //! Every binary accepts the same flags:
 //!
@@ -10,14 +10,24 @@
 //! --seed N           RNG seed                      (default 42)
 //! --nrh a,b,c        RowHammer threshold sweep     (default 1024…20)
 //! --out FILE         also write results as JSON
+//! --shard i/N        own 1/N of the grid cells     (default 1/1)
+//! --grid-dir DIR     result-store directory        (default: grid-cache)
+//! --no-cache         bypass the result store
+//! --quiet            no progress/ETA lines
 //! ```
 //!
-//! Paper scale is `--instructions 100000000 --mixes 10`.
+//! Paper scale is `--instructions 100000000 --mixes 10`. Completed cells
+//! are cached in the content-addressed result store, so re-running any
+//! binary (or `all_figures`) re-simulates nothing that already finished;
+//! see BENCH_README.md ("Sweeps, sharding and the result cache").
 
+pub mod grids;
 pub mod opts;
 pub mod runs;
 pub mod tables;
 
 pub use opts::HarnessOpts;
-pub use runs::{mix_traces, run_mix, sweep_mixes, sweep_single_core, MixContext, SweepRow};
+pub use runs::{
+    execute, mix_traces, run_mix, sweep_mixes, sweep_single_core, AppSweep, MixSweep, SweepRow,
+};
 pub use tables::{format_table, geomean, write_json};

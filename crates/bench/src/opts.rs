@@ -2,6 +2,8 @@
 
 use std::path::PathBuf;
 
+use chronus_grid::Shard;
+
 /// Parsed harness options.
 #[derive(Debug, Clone)]
 pub struct HarnessOpts {
@@ -17,6 +19,15 @@ pub struct HarnessOpts {
     pub nrh_list: Vec<u32>,
     /// Optional JSON output path.
     pub out: Option<PathBuf>,
+    /// Grid shard this process owns (`--shard i/N`).
+    pub shard: Shard,
+    /// Result-store directory override (`--grid-dir`); default is
+    /// `$CHRONUS_GRID_DIR` or `./grid-cache`.
+    pub grid_dir: Option<PathBuf>,
+    /// Bypass the result store entirely (`--no-cache`).
+    pub no_cache: bool,
+    /// Suppress per-cell progress/ETA lines (`--quiet`).
+    pub quiet: bool,
 }
 
 impl Default for HarnessOpts {
@@ -30,44 +41,100 @@ impl Default for HarnessOpts {
             seed: 42,
             nrh_list: vec![1024, 512, 256, 128, 64, 32, 20],
             out: None,
+            shard: Shard::full(),
+            grid_dir: None,
+            no_cache: false,
+            quiet: false,
         }
     }
 }
 
+/// Why parsing stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// `--help` was requested.
+    Help,
+    /// A flag was malformed; the message names the flag and the offending
+    /// value.
+    Invalid(String),
+}
+
+/// The flags of [`HarnessOpts::parse_from`] that take no value argument.
+/// Argument pre-splitters (`chronus-sweep` separates positionals from
+/// flags) consult this so flag arity is defined in exactly one place.
+pub const VALUELESS_FLAGS: &[&str] = &["--no-cache", "--quiet", "--help", "-h"];
+
 impl HarnessOpts {
-    /// Parses `std::env::args`, printing usage and exiting on `--help`.
+    /// Parses `std::env::args`, printing usage on `--help` (exit 0) and a
+    /// diagnostic naming the flag and value on malformed input (exit 2).
     pub fn from_args(tool: &str) -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(ParseOutcome::Help) => {
+                eprintln!("{}", Self::usage(tool));
+                std::process::exit(0);
+            }
+            Err(ParseOutcome::Invalid(msg)) => {
+                eprintln!("{tool}: {msg}");
+                eprintln!("try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The `--help` text.
+    pub fn usage(tool: &str) -> String {
+        format!(
+            "{tool}: regenerates one artefact of the Chronus paper.\n\
+             flags: --instructions N --mixes N --threads N --seed N \
+             --nrh a,b,c --out FILE\n\
+             grid:  --shard i/N --grid-dir DIR --no-cache --quiet"
+        )
+    }
+
+    /// Pure parser over an argument iterator (testable; no process exit).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseOutcome::Help`] on `--help`/`-h`; [`ParseOutcome::Invalid`]
+    /// with a flag-and-value diagnostic on malformed input.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Result<Self, ParseOutcome> {
         let mut o = Self::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(a) = args.next() {
             let mut value = |name: &str| {
                 args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                    .ok_or_else(|| ParseOutcome::Invalid(format!("{name} requires a value")))
             };
             match a.as_str() {
-                "--instructions" => o.instructions = value("--instructions").parse().expect("int"),
-                "--mixes" => o.mixes_per_class = value("--mixes").parse().expect("int"),
-                "--threads" => o.threads = value("--threads").parse().expect("int"),
-                "--seed" => o.seed = value("--seed").parse().expect("int"),
+                "--instructions" => {
+                    o.instructions = parse_flag("--instructions", &value("--instructions")?)?
+                }
+                "--mixes" => o.mixes_per_class = parse_flag("--mixes", &value("--mixes")?)?,
+                "--threads" => o.threads = parse_flag("--threads", &value("--threads")?)?,
+                "--seed" => o.seed = parse_flag("--seed", &value("--seed")?)?,
                 "--nrh" => {
-                    o.nrh_list = value("--nrh")
+                    let list = value("--nrh")?;
+                    o.nrh_list = list
                         .split(',')
-                        .map(|s| s.trim().parse().expect("int list"))
-                        .collect();
+                        .map(|s| parse_flag("--nrh", s.trim()))
+                        .collect::<Result<_, _>>()?;
                 }
-                "--out" => o.out = Some(PathBuf::from(value("--out"))),
-                "--help" | "-h" => {
-                    eprintln!(
-                        "{tool}: regenerates one artefact of the Chronus paper.\n\
-                         flags: --instructions N --mixes N --threads N --seed N \
-                         --nrh a,b,c --out FILE"
-                    );
-                    std::process::exit(0);
+                "--out" => o.out = Some(PathBuf::from(value("--out")?)),
+                "--shard" => {
+                    let v = value("--shard")?;
+                    o.shard = v
+                        .parse()
+                        .map_err(|e| ParseOutcome::Invalid(format!("--shard: {e}")))?;
                 }
-                other => panic!("unknown flag {other}; try --help"),
+                "--grid-dir" => o.grid_dir = Some(PathBuf::from(value("--grid-dir")?)),
+                "--no-cache" => o.no_cache = true,
+                "--quiet" => o.quiet = true,
+                "--help" | "-h" => return Err(ParseOutcome::Help),
+                other => return Err(ParseOutcome::Invalid(format!("unknown flag '{other}'"))),
             }
         }
-        o
+        Ok(o)
     }
 
     /// A scaled-down copy for smoke tests.
@@ -81,20 +148,121 @@ impl HarnessOpts {
     }
 }
 
+/// Parses one flag value, reporting the flag name and offending value on
+/// failure instead of panicking with a bare `expect("int")`.
+fn parse_flag<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseOutcome>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| ParseOutcome::Invalid(format!("{flag}: invalid value '{value}' ({e})")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessOpts, ParseOutcome> {
+        HarnessOpts::parse_from(args.iter().map(|s| s.to_string()))
+    }
 
     #[test]
     fn defaults_cover_the_paper_sweep() {
         let o = HarnessOpts::default();
         assert_eq!(o.nrh_list, vec![1024, 512, 256, 128, 64, 32, 20]);
         assert!(o.threads >= 1);
+        assert!(o.shard.is_full());
+        assert!(!o.no_cache);
     }
 
     #[test]
     fn smoke_is_smaller() {
         let s = HarnessOpts::smoke();
         assert!(s.instructions < HarnessOpts::default().instructions);
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let o = parse(&[
+            "--instructions",
+            "9000",
+            "--mixes",
+            "3",
+            "--threads",
+            "2",
+            "--seed",
+            "7",
+            "--nrh",
+            "128, 64",
+            "--out",
+            "rows.json",
+            "--shard",
+            "2/4",
+            "--grid-dir",
+            "/tmp/store",
+            "--no-cache",
+            "--quiet",
+        ])
+        .unwrap();
+        assert_eq!(o.instructions, 9_000);
+        assert_eq!(o.mixes_per_class, 3);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.nrh_list, vec![128, 64]);
+        assert_eq!(o.out.as_deref(), Some(std::path::Path::new("rows.json")));
+        assert_eq!(o.shard.to_string(), "2/4");
+        assert_eq!(
+            o.grid_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/store"))
+        );
+        assert!(o.no_cache);
+        assert!(o.quiet);
+    }
+
+    #[test]
+    fn bad_int_names_flag_and_value() {
+        let err = parse(&["--threads", "x"]).unwrap_err();
+        match err {
+            ParseOutcome::Invalid(msg) => {
+                assert!(msg.contains("--threads"), "flag name missing: {msg}");
+                assert!(msg.contains("'x'"), "offending value missing: {msg}");
+            }
+            ParseOutcome::Help => panic!("expected Invalid"),
+        }
+    }
+
+    #[test]
+    fn bad_nrh_element_names_flag_and_value() {
+        let err = parse(&["--nrh", "1024,zap,32"]).unwrap_err();
+        match err {
+            ParseOutcome::Invalid(msg) => {
+                assert!(msg.contains("--nrh"), "{msg}");
+                assert!(msg.contains("'zap'"), "{msg}");
+            }
+            ParseOutcome::Help => panic!("expected Invalid"),
+        }
+    }
+
+    #[test]
+    fn missing_value_and_unknown_flag_are_reported() {
+        assert!(matches!(
+            parse(&["--seed"]),
+            Err(ParseOutcome::Invalid(msg)) if msg.contains("--seed")
+        ));
+        assert!(matches!(
+            parse(&["--bogus"]),
+            Err(ParseOutcome::Invalid(msg)) if msg.contains("--bogus")
+        ));
+        assert!(matches!(
+            parse(&["--shard", "5/2"]),
+            Err(ParseOutcome::Invalid(msg)) if msg.contains("5/2")
+        ));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&["--help"]).unwrap_err(), ParseOutcome::Help);
+        assert_eq!(parse(&["-h"]).unwrap_err(), ParseOutcome::Help);
     }
 }

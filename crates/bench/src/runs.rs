@@ -1,9 +1,17 @@
-//! Experiment orchestration: alone/baseline/mechanism runs over mixes.
+//! Experiment orchestration: alone/baseline/mechanism runs over mixes,
+//! expressed as declarative `chronus-grid` specs.
+//!
+//! Every simulation a figure needs — including the per-mix alone-IPC and
+//! no-mitigation baseline context runs — is one grid cell, so repeated
+//! invocations complete from the content-addressed result store and
+//! `--shard i/N` splits any figure across processes or machines.
 
 use chronus_core::MechanismKind;
 use chronus_cpu::Trace;
-use chronus_sim::system::alone_ipc;
-use chronus_sim::{run_parallel, SimConfig, SimReport, System};
+use chronus_grid::{
+    run_grid, AppTrace, CellSpec, ExecOpts, GridOutcome, GridSpec, ResultStore, WorkloadSpec,
+};
+use chronus_sim::{SimConfig, SimReport, System};
 use chronus_workloads::{four_core_mixes, generator::synthetic_from_profile, AppProfile, Mix};
 use serde::Serialize;
 
@@ -44,59 +52,225 @@ pub fn mix_traces(apps: &[AppProfile], instructions: u64, seed: u64) -> Vec<Trac
         .collect()
 }
 
-/// Baseline context of one mix: alone IPCs and the unmitigated run.
-#[derive(Debug, Clone)]
-pub struct MixContext {
-    /// The mix.
-    pub mix: Mix,
-    /// Per-core alone IPCs.
-    pub ipc_alone: Vec<f64>,
-    /// Unmitigated multi-programmed report.
-    pub baseline: SimReport,
-}
-
-impl MixContext {
-    /// Weighted speedup of the baseline run.
-    pub fn baseline_ws(&self) -> f64 {
-        self.baseline.weighted_speedup(&self.ipc_alone)
-    }
-}
-
-/// Runs a mix under one mechanism.
+/// Runs a mix under one mechanism (direct, uncached; the sweeps go through
+/// the grid instead).
 pub fn run_mix(
     apps: &[AppProfile],
     mech: MechanismKind,
     nrh: u32,
     opts: &HarnessOpts,
 ) -> SimReport {
+    let cfg = mix_config(apps.len(), mech, nrh, opts);
+    let traces = mix_traces(apps, opts.instructions, opts.seed);
+    System::build(&cfg).run(traces)
+}
+
+/// The multi-programmed configuration every mix cell uses.
+pub fn mix_config(
+    num_cores: usize,
+    mech: MechanismKind,
+    nrh: u32,
+    opts: &HarnessOpts,
+) -> SimConfig {
     let mut cfg = SimConfig::four_core();
-    cfg.num_cores = apps.len();
+    cfg.num_cores = num_cores;
     cfg.instructions_per_core = opts.instructions;
     cfg.mechanism = mech;
     cfg.nrh = nrh;
     cfg.seed = opts.seed;
     cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
-    let traces = mix_traces(apps, opts.instructions, opts.seed);
-    System::build(&cfg).run(traces)
+    cfg
 }
 
-fn build_contexts(mixes: &[Mix], opts: &HarnessOpts) -> Vec<MixContext> {
-    run_parallel(mixes.to_vec(), opts.threads, |mix| {
-        let traces = mix_traces(&mix.apps, opts.instructions, opts.seed);
-        let mut single = SimConfig::single_core();
-        single.instructions_per_core = opts.instructions;
-        single.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
-        let ipc_alone: Vec<f64> = traces
+/// The single-core alone-run configuration (mirrors
+/// `chronus_sim::system::alone_ipc`: mechanism off, default seed).
+fn alone_config(opts: &HarnessOpts) -> SimConfig {
+    let mut cfg = SimConfig::single_core();
+    cfg.instructions_per_core = opts.instructions;
+    cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+    cfg
+}
+
+/// The per-core trace specs of a mix (slot i, seed `opts.seed ^ (i << 8)`).
+/// Shared with `grids.rs` so every mix-shaped grid produces hash-identical
+/// cells (the basis of cross-figure cache sharing).
+pub(crate) fn mix_workload(apps: &[AppProfile], opts: &HarnessOpts) -> WorkloadSpec {
+    WorkloadSpec::Apps {
+        apps: apps
             .iter()
-            .map(|t| alone_ipc(t.clone(), &single))
-            .collect();
-        let baseline = run_mix(&mix.apps, MechanismKind::None, 1024, opts);
-        MixContext {
-            mix,
-            ipc_alone,
-            baseline,
+            .enumerate()
+            .map(|(i, p)| AppTrace::new(p.name, i as u64, opts.seed ^ (i as u64) << 8))
+            .collect(),
+        trace_instructions: opts.instructions + opts.instructions / 10,
+    }
+}
+
+/// Opens the result store the harness options point at.
+pub fn open_store(opts: &HarnessOpts) -> ResultStore {
+    let store = match &opts.grid_dir {
+        Some(dir) => ResultStore::open(dir),
+        None => ResultStore::open_default(),
+    };
+    store.unwrap_or_else(|e| panic!("opening grid result store: {e}"))
+}
+
+/// Grid execution options derived from the harness options.
+pub fn exec_opts(opts: &HarnessOpts) -> ExecOpts {
+    ExecOpts {
+        threads: opts.threads,
+        shard: opts.shard,
+        progress: !opts.quiet,
+    }
+}
+
+/// Executes a spec with the harness options and prints the cache/shard
+/// accounting line on stderr. `--no-cache` runs without a store — no
+/// directory is created or read.
+pub fn execute(spec: &GridSpec, opts: &HarnessOpts) -> GridOutcome {
+    let store = (!opts.no_cache).then(|| open_store(opts));
+    let outcome = run_grid(spec, store.as_ref(), &exec_opts(opts));
+    if !opts.quiet {
+        let where_ = match &store {
+            Some(s) => format!(" (store: {})", s.dir().display()),
+            None => String::new(),
+        };
+        eprintln!(
+            "[{}] {} in {:.1}s{where_}",
+            spec.name,
+            outcome.stats.summary(),
+            outcome.wall_seconds,
+        );
+    }
+    if !outcome.is_complete() && opts.shard.is_full() {
+        // With a full shard every cell should resolve; a hole means the
+        // store rejected writes or a worker died.
+        panic!("grid '{}' incomplete after a full (1/1) run", spec.name);
+    }
+    outcome
+}
+
+fn preventive_rows(report: &SimReport) -> u64 {
+    report.dram.rfm_victim_rows + report.dram.vrrs + report.dram.borrowed_refreshes * 4
+}
+
+/// A multi-programmed mix sweep (Fig. 4, 8, 9, 10, 12) as a grid: per mix,
+/// one alone cell per core, one unmitigated baseline cell, and one cell
+/// per (mechanism, N_RH) point.
+pub struct MixSweep {
+    /// The declarative grid.
+    pub spec: GridSpec,
+    mixes: Vec<Mix>,
+    /// Per mix: alone-run cell index per core.
+    alone: Vec<Vec<usize>>,
+    /// Per mix: baseline cell index.
+    baseline: Vec<usize>,
+    /// (mix index, cell index) in row order.
+    jobs: Vec<(usize, usize)>,
+}
+
+impl MixSweep {
+    /// Builds the grid. `tweak` is applied to every cell's resolved config
+    /// (alone, baseline and sweep cells alike) — Fig. 12 forces the ABACuS
+    /// address mapping through it.
+    pub fn build(
+        name: &str,
+        mechanisms: &[MechanismKind],
+        nrh_list: &[u32],
+        opts: &HarnessOpts,
+        tweak: &dyn Fn(&mut SimConfig),
+    ) -> Self {
+        let mixes = four_core_mixes(opts.mixes_per_class, opts.seed);
+        let mut spec = GridSpec::new(name);
+        let mut alone = Vec::new();
+        let mut baseline = Vec::new();
+        let mut jobs = Vec::new();
+        for mix in &mixes {
+            let mut per_core = Vec::new();
+            for (i, app) in mix.apps.iter().enumerate() {
+                let mut cfg = alone_config(opts);
+                tweak(&mut cfg);
+                let workload = WorkloadSpec::Apps {
+                    apps: vec![AppTrace::new(
+                        app.name,
+                        i as u64,
+                        opts.seed ^ (i as u64) << 8,
+                    )],
+                    trace_instructions: opts.instructions + opts.instructions / 10,
+                };
+                per_core.push(spec.push(CellSpec::new(
+                    format!("{}:alone:{}", mix.name, app.name),
+                    workload,
+                    cfg,
+                )));
+            }
+            alone.push(per_core);
+
+            let mut cfg = mix_config(mix.apps.len(), MechanismKind::None, 1024, opts);
+            tweak(&mut cfg);
+            baseline.push(spec.push(CellSpec::new(
+                format!("{}:baseline", mix.name),
+                mix_workload(&mix.apps, opts),
+                cfg,
+            )));
         }
-    })
+        for (m, mix) in mixes.iter().enumerate() {
+            for &mech in mechanisms {
+                for &nrh in nrh_list {
+                    let mut cfg = mix_config(mix.apps.len(), mech, nrh, opts);
+                    tweak(&mut cfg);
+                    let cell = spec.push(CellSpec::new(
+                        format!("{}:{}@{}", mix.name, mech.label(), nrh),
+                        mix_workload(&mix.apps, opts),
+                        cfg,
+                    ));
+                    jobs.push((m, cell));
+                }
+            }
+        }
+        Self {
+            spec,
+            mixes,
+            alone,
+            baseline,
+            jobs,
+        }
+    }
+
+    /// Assembles normalised rows from an outcome. Cells missing under a
+    /// partial shard are skipped; an unsharded run yields every row.
+    pub fn rows(&self, outcome: &GridOutcome) -> Vec<SweepRow> {
+        let mut rows = Vec::new();
+        for &(m, cell) in &self.jobs {
+            let Some(report) = outcome.reports[cell].as_ref() else {
+                continue;
+            };
+            let Some(baseline) = outcome.reports[self.baseline[m]].as_ref() else {
+                continue;
+            };
+            let ipc_alone: Option<Vec<f64>> = self.alone[m]
+                .iter()
+                .map(|&i| outcome.reports[i].as_ref().map(|r| r.ipc[0]))
+                .collect();
+            let Some(ipc_alone) = ipc_alone else {
+                continue;
+            };
+            let mix = &self.mixes[m];
+            let ws_norm =
+                report.weighted_speedup(&ipc_alone) / baseline.weighted_speedup(&ipc_alone);
+            rows.push(SweepRow {
+                workload: mix.name.clone(),
+                class: mix.class.label(),
+                mechanism: report.mechanism.clone(),
+                nrh: report.nrh,
+                ws_norm,
+                energy_norm: report.energy_normalized_to(baseline),
+                secure: report.secure,
+                back_offs: report.ctrl.back_offs,
+                preventive_rows: preventive_rows(report),
+            });
+        }
+        rows
+    }
 }
 
 /// Full multi-core sweep: `mechanisms × nrh_list` over the configured
@@ -106,35 +280,111 @@ pub fn sweep_mixes(
     nrh_list: &[u32],
     opts: &HarnessOpts,
 ) -> Vec<SweepRow> {
-    let mixes = four_core_mixes(opts.mixes_per_class, opts.seed);
-    let contexts = build_contexts(&mixes, opts);
-    let mut jobs = Vec::new();
-    for ctx_idx in 0..contexts.len() {
-        for &mech in mechanisms {
-            for &nrh in nrh_list {
-                jobs.push((ctx_idx, mech, nrh));
+    let sweep = MixSweep::build("mix-sweep", mechanisms, nrh_list, opts, &|_| {});
+    let outcome = execute(&sweep.spec, opts);
+    sweep.rows(&outcome)
+}
+
+/// A homogeneous-copies sweep (Fig. 7 with one core, Fig. 14/15 with
+/// eight) as a grid: per app, one baseline cell and one cell per
+/// (mechanism, N_RH).
+pub struct AppSweep {
+    /// The declarative grid.
+    pub spec: GridSpec,
+    apps: Vec<AppProfile>,
+    baseline: Vec<usize>,
+    /// (app index, cell index) in row order.
+    jobs: Vec<(usize, usize)>,
+}
+
+impl AppSweep {
+    /// Builds the grid over `apps`.
+    pub fn build(
+        name: &str,
+        apps: &[AppProfile],
+        mechanisms: &[MechanismKind],
+        nrh_list: &[u32],
+        opts: &HarnessOpts,
+        num_cores: usize,
+        large_llc: bool,
+    ) -> Self {
+        let mut spec = GridSpec::new(name);
+        let workload = |app: &AppProfile| WorkloadSpec::Apps {
+            apps: (0..num_cores)
+                .map(|i| AppTrace::new(app.name, i as u64, opts.seed ^ i as u64))
+                .collect(),
+            trace_instructions: opts.instructions + opts.instructions / 10,
+        };
+        let config = |mech: MechanismKind, nrh: u32| {
+            let mut cfg = if large_llc {
+                SimConfig::eight_core_large_llc()
+            } else {
+                SimConfig::four_core()
+            };
+            cfg.instructions_per_core = opts.instructions;
+            cfg.mechanism = mech;
+            cfg.nrh = nrh;
+            cfg.seed = opts.seed;
+            cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+            cfg
+        };
+        let baseline = apps
+            .iter()
+            .map(|app| {
+                spec.push(CellSpec::new(
+                    format!("{}:baseline", app.name),
+                    workload(app),
+                    config(MechanismKind::None, 1024),
+                ))
+            })
+            .collect();
+        let mut jobs = Vec::new();
+        for (i, app) in apps.iter().enumerate() {
+            for &mech in mechanisms {
+                for &nrh in nrh_list {
+                    let cell = spec.push(CellSpec::new(
+                        format!("{}:{}@{}", app.name, mech.label(), nrh),
+                        workload(app),
+                        config(mech, nrh),
+                    ));
+                    jobs.push((i, cell));
+                }
             }
         }
-    }
-    let contexts_ref = &contexts;
-    run_parallel(jobs, opts.threads, move |(ctx_idx, mech, nrh)| {
-        let ctx = &contexts_ref[ctx_idx];
-        let report = run_mix(&ctx.mix.apps, mech, nrh, opts);
-        let ws_norm = report.weighted_speedup(&ctx.ipc_alone) / ctx.baseline_ws();
-        SweepRow {
-            workload: ctx.mix.name.clone(),
-            class: ctx.mix.class.label(),
-            mechanism: report.mechanism.clone(),
-            nrh,
-            ws_norm,
-            energy_norm: report.energy_normalized_to(&ctx.baseline),
-            secure: report.secure,
-            back_offs: report.ctrl.back_offs,
-            preventive_rows: report.dram.rfm_victim_rows
-                + report.dram.vrrs
-                + report.dram.borrowed_refreshes * 4,
+        Self {
+            spec,
+            apps: apps.to_vec(),
+            baseline,
+            jobs,
         }
-    })
+    }
+
+    /// Assembles normalised rows (homogeneous WS reduces to the IPC-sum
+    /// ratio); cells missing under a partial shard are skipped.
+    pub fn rows(&self, outcome: &GridOutcome) -> Vec<SweepRow> {
+        let mut rows = Vec::new();
+        for &(i, cell) in &self.jobs {
+            let (Some(report), Some(base)) = (
+                outcome.reports[cell].as_ref(),
+                outcome.reports[self.baseline[i]].as_ref(),
+            ) else {
+                continue;
+            };
+            let app = &self.apps[i];
+            rows.push(SweepRow {
+                workload: app.name.to_string(),
+                class: app.class().letter().to_string(),
+                mechanism: report.mechanism.clone(),
+                nrh: report.nrh,
+                ws_norm: report.ipc.iter().sum::<f64>() / base.ipc.iter().sum::<f64>(),
+                energy_norm: report.energy_normalized_to(base),
+                secure: report.secure,
+                back_offs: report.ctrl.back_offs,
+                preventive_rows: preventive_rows(report),
+            });
+        }
+        rows
+    }
 }
 
 /// Single-core sweep over applications (Fig. 7, Fig. 14/15 building block).
@@ -146,39 +396,49 @@ pub fn sweep_single_core(
     num_cores: usize,
     large_llc: bool,
 ) -> Vec<SweepRow> {
-    // Phase A: per-app homogeneous baseline.
-    let baselines = run_parallel(apps.to_vec(), opts.threads, |app| {
-        run_homogeneous(&app, MechanismKind::None, 1024, opts, num_cores, large_llc)
-    });
-    let mut jobs = Vec::new();
-    for (i, _) in apps.iter().enumerate() {
-        for &mech in mechanisms {
-            for &nrh in nrh_list {
-                jobs.push((i, mech, nrh));
-            }
-        }
-    }
-    let baselines_ref = &baselines;
-    run_parallel(jobs, opts.threads, move |(i, mech, nrh)| {
-        let app = &apps[i];
-        let base = &baselines_ref[i];
-        let report = run_homogeneous(app, mech, nrh, opts, num_cores, large_llc);
-        // Homogeneous normalised WS reduces to the IPC-sum ratio.
-        let ws_norm = report.ipc.iter().sum::<f64>() / base.ipc.iter().sum::<f64>();
-        SweepRow {
-            workload: app.name.to_string(),
-            class: app.class().letter().to_string(),
-            mechanism: report.mechanism.clone(),
-            nrh,
-            ws_norm,
-            energy_norm: report.energy_normalized_to(base),
-            secure: report.secure,
-            back_offs: report.ctrl.back_offs,
-            preventive_rows: report.dram.rfm_victim_rows
-                + report.dram.vrrs
-                + report.dram.borrowed_refreshes * 4,
-        }
-    })
+    let sweep = AppSweep::build(
+        "app-sweep",
+        apps,
+        mechanisms,
+        nrh_list,
+        opts,
+        num_cores,
+        large_llc,
+    );
+    let outcome = execute(&sweep.spec, opts);
+    sweep.rows(&outcome)
+}
+
+/// Runs `num_cores` copies of one application (single-core when 1),
+/// directly and uncached.
+pub fn run_homogeneous(
+    app: &AppProfile,
+    mech: MechanismKind,
+    nrh: u32,
+    opts: &HarnessOpts,
+    num_cores: usize,
+    large_llc: bool,
+) -> SimReport {
+    let mut cfg = if large_llc {
+        SimConfig::eight_core_large_llc()
+    } else {
+        SimConfig::four_core()
+    };
+    cfg.num_cores = num_cores;
+    cfg.instructions_per_core = opts.instructions;
+    cfg.mechanism = mech;
+    cfg.nrh = nrh;
+    cfg.seed = opts.seed;
+    cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+    let traces: Vec<Trace> = (0..num_cores)
+        .map(|i| {
+            synthetic_from_profile(*app, i as u64).generate(
+                opts.instructions + opts.instructions / 10,
+                opts.seed ^ i as u64,
+            )
+        })
+        .collect();
+    System::build(&cfg).run(traces)
 }
 
 /// Pivots sweep rows into a mechanism × N_RH table of geometric means.
@@ -217,35 +477,4 @@ pub fn pivot_geomean(
         out.push(line);
     }
     out
-}
-
-/// Runs `num_cores` copies of one application (single-core when 1).
-pub fn run_homogeneous(
-    app: &AppProfile,
-    mech: MechanismKind,
-    nrh: u32,
-    opts: &HarnessOpts,
-    num_cores: usize,
-    large_llc: bool,
-) -> SimReport {
-    let mut cfg = if large_llc {
-        SimConfig::eight_core_large_llc()
-    } else {
-        SimConfig::four_core()
-    };
-    cfg.num_cores = num_cores;
-    cfg.instructions_per_core = opts.instructions;
-    cfg.mechanism = mech;
-    cfg.nrh = nrh;
-    cfg.seed = opts.seed;
-    cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
-    let traces: Vec<Trace> = (0..num_cores)
-        .map(|i| {
-            synthetic_from_profile(*app, i as u64).generate(
-                opts.instructions + opts.instructions / 10,
-                opts.seed ^ i as u64,
-            )
-        })
-        .collect();
-    System::build(&cfg).run(traces)
 }

@@ -1,0 +1,263 @@
+//! The grid executor: cache lookup, shard filtering, parallel simulation,
+//! store write-back, and the order-preserving merge.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use chronus_sim::{run_parallel, SimReport, System};
+
+use crate::cell::CellSpec;
+use crate::progress::Progress;
+use crate::shard::Shard;
+use crate::spec::GridSpec;
+use crate::store::ResultStore;
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOpts {
+    /// Worker threads for cell simulation.
+    pub threads: usize,
+    /// The shard this process owns (default: the full grid).
+    pub shard: Shard,
+    /// Progress/ETA lines on stderr.
+    pub progress: bool,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(8),
+            shard: Shard::full(),
+            progress: true,
+        }
+    }
+}
+
+/// What one [`run_grid`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Cells in the spec.
+    pub total: usize,
+    /// Cells satisfied from the result store.
+    pub cached: usize,
+    /// Cells simulated by this process.
+    pub simulated: usize,
+    /// Cells owned by other shards and not yet in the store.
+    pub skipped: usize,
+}
+
+impl ExecStats {
+    /// `cells=N cached=C simulated=S skipped=K` — the machine-readable form
+    /// the CI smoke job greps.
+    pub fn summary(&self) -> String {
+        format!(
+            "cells={} cached={} simulated={} skipped={}",
+            self.total, self.cached, self.simulated, self.skipped
+        )
+    }
+}
+
+/// The result of one grid execution.
+#[derive(Debug)]
+pub struct GridOutcome {
+    /// One slot per spec cell, in spec order; `None` means the cell belongs
+    /// to another shard and was not in the store.
+    pub reports: Vec<Option<SimReport>>,
+    /// Cache/shard accounting.
+    pub stats: ExecStats,
+    /// Wall-clock of the whole call in seconds.
+    pub wall_seconds: f64,
+}
+
+impl GridOutcome {
+    /// Whether every cell has a report.
+    pub fn is_complete(&self) -> bool {
+        self.reports.iter().all(Option::is_some)
+    }
+}
+
+/// Simulates one cell (trace regeneration + full system run).
+pub fn simulate_cell(cell: &CellSpec) -> SimReport {
+    let traces = cell.workload.traces(&cell.config.geometry);
+    System::build(&cell.config).run(traces)
+}
+
+/// Executes a grid: serves cached cells from `store`, simulates the misses
+/// this shard owns (in parallel), and persists every fresh result.
+/// `store: None` disables caching entirely — every owned cell re-simulates
+/// and nothing touches the filesystem.
+///
+/// Identical cells (same content hash) appearing at several spec positions
+/// are simulated once and fanned out to all positions.
+pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -> GridOutcome {
+    let started = Instant::now();
+    let hashes = spec.hashes();
+    let mut reports: Vec<Option<SimReport>> = vec![None; spec.cells.len()];
+    let mut stats = ExecStats {
+        total: spec.cells.len(),
+        ..ExecStats::default()
+    };
+
+    // Cache pass. Deduplicate lookups so a hash shared by many cells is
+    // read once.
+    let mut by_hash: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, h) in hashes.iter().enumerate() {
+        by_hash.entry(h.as_str()).or_default().push(i);
+    }
+    let mut pending: Vec<(&str, usize)> = Vec::new(); // (hash, representative index)
+    for (hash, indices) in &by_hash {
+        match store.and_then(|s| s.get(hash)) {
+            Some(report) => {
+                stats.cached += indices.len();
+                for &i in indices {
+                    reports[i] = Some(report.clone());
+                }
+            }
+            None => pending.push((hash, indices[0])),
+        }
+    }
+
+    // Shard filter: a duplicated hash is owned by the shard owning its
+    // first (representative) position.
+    pending.sort_by_key(|&(_, i)| i);
+    let (owned, foreign): (Vec<_>, Vec<_>) =
+        pending.into_iter().partition(|&(_, i)| opts.shard.owns(i));
+    for (_, i) in &foreign {
+        stats.skipped += by_hash[hashes[*i].as_str()].len();
+    }
+
+    // Simulate the owned misses.
+    let progress = Progress::new(&spec.name, owned.len(), opts.progress);
+    let progress_ref = &progress;
+    let cells_ref = &spec.cells;
+    let results: Vec<(usize, SimReport)> = run_parallel(
+        owned.iter().map(|&(_, i)| i).collect(),
+        opts.threads,
+        move |i| {
+            let cell = &cells_ref[i];
+            let report = simulate_cell(cell);
+            progress_ref.cell_done(&cell.label);
+            (i, report)
+        },
+    );
+    for (i, report) in results {
+        let hash = hashes[i].as_str();
+        if let Some(store) = store {
+            if let Err(e) = store.put(hash, &spec.cells[i], &report) {
+                eprintln!(
+                    "chronus-grid: failed to persist cell {hash} to {}: {e}",
+                    store.dir().display()
+                );
+            }
+        }
+        let indices = &by_hash[hash];
+        stats.simulated += indices.len();
+        for &j in indices {
+            reports[j] = Some(report.clone());
+        }
+    }
+
+    GridOutcome {
+        reports,
+        stats,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Collects a complete grid from the store alone, in spec order — the merge
+/// step after sharded runs. The output depends only on the spec and the
+/// store contents, so merging after `--shard 1/2` + `--shard 2/2` is
+/// byte-identical to merging after one unsharded run.
+///
+/// # Errors
+///
+/// Returns the indices of cells missing from the store.
+pub fn merge(spec: &GridSpec, store: &ResultStore) -> Result<Vec<SimReport>, Vec<usize>> {
+    let mut out = Vec::with_capacity(spec.cells.len());
+    let mut missing = Vec::new();
+    for (i, hash) in spec.hashes().iter().enumerate() {
+        match store.get(hash) {
+            Some(r) => out.push(r),
+            None => missing.push(i),
+        }
+    }
+    if missing.is_empty() {
+        Ok(out)
+    } else {
+        Err(missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{AppTrace, WorkloadSpec};
+    use chronus_sim::SimConfig;
+
+    fn tiny_spec() -> GridSpec {
+        let mut spec = GridSpec::new("exec-test");
+        for (i, nrh) in [64u32, 64, 32].iter().enumerate() {
+            // Cells 0 and 1 are identical on purpose (dedup path).
+            let mut cfg = SimConfig::single_core();
+            cfg.instructions_per_core = 1_000;
+            cfg.nrh = *nrh;
+            cfg.mechanism = chronus_core::MechanismKind::Chronus;
+            let w = WorkloadSpec::Apps {
+                apps: vec![AppTrace::new("511.povray", 0, 2)],
+                trace_instructions: 1_500,
+            };
+            spec.push(CellSpec::new(format!("c{i}"), w, cfg));
+        }
+        spec
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chronus-grid-exec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn duplicate_cells_simulate_once() {
+        let dir = scratch("dedup");
+        let store = ResultStore::open(&dir).unwrap();
+        let spec = tiny_spec();
+        let opts = ExecOpts {
+            threads: 2,
+            progress: false,
+            ..ExecOpts::default()
+        };
+        let out = run_grid(&spec, Some(&store), &opts);
+        assert!(out.is_complete());
+        // 3 slots filled but only 2 distinct simulations persisted.
+        assert_eq!(out.stats.simulated, 3);
+        assert_eq!(store.list().unwrap().len(), 2);
+        assert_eq!(out.reports[0], out.reports[1]);
+        assert_ne!(out.reports[0], out.reports[2]);
+
+        // Second run: everything cached, nothing simulated.
+        let again = run_grid(&spec, Some(&store), &opts);
+        assert_eq!(again.stats.cached, 3);
+        assert_eq!(again.stats.simulated, 0);
+        assert_eq!(again.reports, out.reports);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_store_never_touches_the_filesystem() {
+        let dir = scratch("nocache");
+        let spec = tiny_spec();
+        let opts = ExecOpts {
+            threads: 1,
+            progress: false,
+            ..ExecOpts::default()
+        };
+        let out = run_grid(&spec, None, &opts);
+        assert!(out.is_complete());
+        assert_eq!(out.stats.simulated, 3);
+        assert!(!dir.exists(), "cache-less run must not create directories");
+    }
+}

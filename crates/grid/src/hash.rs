@@ -1,0 +1,77 @@
+//! Stable content-addressed cell hashing.
+//!
+//! The key is the canonical compact-JSON rendering of a [`CellKey`], folded
+//! through two independent 64-bit FNV-1a passes into a 128-bit hex digest.
+//! JSON-then-hash (rather than `std::hash::Hash`) makes the digest stable
+//! across Rust versions, platforms and processes — the property the on-disk
+//! store and multi-machine sharding depend on. `std`'s `DefaultHasher` is
+//! explicitly *not* guaranteed stable, so it is not used here.
+
+use crate::cell::{CellKey, CellSpec};
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Standard FNV-1a offset basis.
+const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second, independent basis so the two lanes decorrelate.
+const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// 128-bit hex digest (32 lowercase hex chars) of `bytes`.
+pub fn digest128(bytes: &[u8]) -> String {
+    let a = fnv1a(bytes, OFFSET_A);
+    let b = fnv1a(bytes, OFFSET_B);
+    format!("{a:016x}{b:016x}")
+}
+
+/// The content-addressed store key of one cell.
+pub fn cell_hash(cell: &CellSpec) -> String {
+    let key = CellKey::of(cell);
+    let json = serde_json::to_string(&key).expect("cell keys always serialize");
+    digest128(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{AppTrace, WorkloadSpec};
+    use chronus_sim::SimConfig;
+
+    fn cell(nrh: u32) -> CellSpec {
+        let w = WorkloadSpec::Apps {
+            apps: vec![AppTrace::new("429.mcf", 0, 1)],
+            trace_instructions: 1_000,
+        };
+        let mut cfg = SimConfig::single_core();
+        cfg.nrh = nrh;
+        CellSpec::new("label", w, cfg)
+    }
+
+    #[test]
+    fn digest_is_stable_and_hexy() {
+        let d = digest128(b"chronus");
+        assert_eq!(d.len(), 32);
+        assert_eq!(d, digest128(b"chronus"));
+        assert_ne!(d, digest128(b"chronut"));
+        assert!(d.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn label_is_not_part_of_the_key() {
+        let a = cell(64);
+        let mut b = a.clone();
+        b.label = "renamed".into();
+        assert_eq!(cell_hash(&a), cell_hash(&b));
+    }
+
+    #[test]
+    fn config_changes_change_the_key() {
+        assert_ne!(cell_hash(&cell(64)), cell_hash(&cell(32)));
+    }
+}

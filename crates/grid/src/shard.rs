@@ -1,0 +1,91 @@
+//! Deterministic cell partitioning for multi-process / multi-machine runs.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One shard of a grid: `--shard i/N` claims every cell whose position in
+/// the spec satisfies `index % N == i - 1`.
+///
+/// Position-based round-robin dealing is deterministic for a given spec
+/// (the spec builders are themselves deterministic in the harness options)
+/// and interleaves expensive neighbours — e.g. one N_RH column, which tends
+/// to share cost characteristics — across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// 1-based shard index.
+    pub index: usize,
+    /// Total shard count.
+    pub count: usize,
+}
+
+impl Shard {
+    /// The trivial full partition `1/1`.
+    pub const fn full() -> Self {
+        Self { index: 1, count: 1 }
+    }
+
+    /// Whether this is the full partition.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns the cell at `cell_index`.
+    pub fn owns(&self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index - 1
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl FromStr for Shard {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("invalid shard '{s}' (expected i/N with 1 <= i <= N, e.g. 2/4)");
+        let (i, n) = s.split_once('/').ok_or_else(bad)?;
+        let index: usize = i.trim().parse().map_err(|_| bad())?;
+        let count: usize = n.trim().parse().map_err(|_| bad())?;
+        if index == 0 || count == 0 || index > count {
+            return Err(bad());
+        }
+        Ok(Shard { index, count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_prints() {
+        let s: Shard = "2/4".parse().unwrap();
+        assert_eq!(s, Shard { index: 2, count: 4 });
+        assert_eq!(s.to_string(), "2/4");
+        assert_eq!("1/1".parse::<Shard>().unwrap(), Shard::full());
+    }
+
+    #[test]
+    fn rejects_nonsense() {
+        for bad in ["", "3", "0/2", "3/2", "a/b", "1/0", "1//2"] {
+            assert!(bad.parse::<Shard>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn shards_partition_exactly() {
+        let shards: Vec<Shard> = (1..=3).map(|i| Shard { index: i, count: 3 }).collect();
+        for cell in 0..100 {
+            let owners = shards.iter().filter(|s| s.owns(cell)).count();
+            assert_eq!(owners, 1, "cell {cell} owned by {owners} shards");
+        }
+    }
+
+    #[test]
+    fn full_shard_owns_everything() {
+        assert!((0..50).all(|i| Shard::full().owns(i)));
+    }
+}

@@ -1,0 +1,212 @@
+//! The content-addressed on-disk result store.
+//!
+//! One JSON file per completed cell, named `<hash>.json`, holding the full
+//! [`CellKey`] (for auditability and `gc` debugging) plus the `SimReport`.
+//! Writes go through a temp file + rename so concurrent sharded processes
+//! sharing one directory never observe torn entries.
+
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use chronus_sim::SimReport;
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{CellKey, CellSpec};
+
+/// Environment variable overriding the default store directory.
+pub const GRID_DIR_ENV: &str = "CHRONUS_GRID_DIR";
+
+/// Default store directory under the working directory.
+pub const DEFAULT_GRID_DIR: &str = "grid-cache";
+
+/// One stored entry: identity plus result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Full cell identity (what was hashed).
+    pub key: CellKey,
+    /// The simulation result.
+    pub report: SimReport,
+}
+
+/// A directory of completed cells keyed by content hash.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    dir: PathBuf,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) a store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// Opens the default store: `$CHRONUS_GRID_DIR` or `./grid-cache`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_default() -> io::Result<Self> {
+        Self::open(Self::default_dir())
+    }
+
+    /// The directory [`Self::open_default`] would use.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os(GRID_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_GRID_DIR))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file path of a hash.
+    pub fn path_of(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.json"))
+    }
+
+    /// Whether a completed entry exists for `hash`.
+    pub fn contains(&self, hash: &str) -> bool {
+        self.path_of(hash).is_file()
+    }
+
+    /// Loads the report stored for `hash`; `None` if absent or unreadable
+    /// (a corrupt entry behaves as a miss and is re-simulated).
+    pub fn get(&self, hash: &str) -> Option<SimReport> {
+        let text = std::fs::read_to_string(self.path_of(hash)).ok()?;
+        match serde_json::from_str::<CellRecord>(&text) {
+            Ok(rec) => Some(rec.report),
+            Err(e) => {
+                eprintln!(
+                    "chronus-grid: ignoring corrupt cache entry {} ({e})",
+                    self.path_of(hash).display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Persists a completed cell atomically (write temp file, rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn put(&self, hash: &str, cell: &CellSpec, report: &SimReport) -> io::Result<()> {
+        let record = CellRecord {
+            key: CellKey::of(cell),
+            report: report.clone(),
+        };
+        let json = serde_json::to_string_pretty(&record).expect("records always serialize");
+        let tmp = self.dir.join(format!(".{hash}.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.path_of(hash))
+    }
+
+    /// Hashes of all completed entries in the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures.
+    pub fn list(&self) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(hash) = name.strip_suffix(".json") {
+                if hash.len() == 32 && hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    out.push(hash.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Deletes every entry whose hash is not in `keep`; returns how many
+    /// files were removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn gc(&self, keep: &HashSet<String>) -> io::Result<usize> {
+        let mut removed = 0;
+        for hash in self.list()? {
+            if !keep.contains(&hash) {
+                std::fs::remove_file(self.path_of(&hash))?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{AppTrace, WorkloadSpec};
+    use crate::hash::cell_hash;
+    use chronus_sim::{SimConfig, System};
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chronus-grid-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_cell() -> CellSpec {
+        let w = WorkloadSpec::Apps {
+            apps: vec![AppTrace::new("511.povray", 0, 5)],
+            trace_instructions: 1_200,
+        };
+        let mut cfg = SimConfig::single_core();
+        cfg.instructions_per_core = 1_000;
+        CellSpec::new("tiny", w, cfg)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dir = scratch("roundtrip");
+        let store = ResultStore::open(&dir).unwrap();
+        let cell = tiny_cell();
+        let hash = cell_hash(&cell);
+        assert!(store.get(&hash).is_none());
+
+        let report = System::build(&cell.config).run(cell.workload.traces(&cell.config.geometry));
+        store.put(&hash, &cell, &report).unwrap();
+        assert!(store.contains(&hash));
+        assert_eq!(store.get(&hash).unwrap(), report);
+        assert_eq!(store.list().unwrap(), vec![hash.clone()]);
+
+        // Corrupt entries behave as misses.
+        std::fs::write(store.path_of(&hash), "{oops").unwrap();
+        assert!(store.get(&hash).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_only_requested_hashes() {
+        let dir = scratch("gc");
+        let store = ResultStore::open(&dir).unwrap();
+        let cell = tiny_cell();
+        let hash = cell_hash(&cell);
+        let report = System::build(&cell.config).run(cell.workload.traces(&cell.config.geometry));
+        store.put(&hash, &cell, &report).unwrap();
+        let bogus = "0".repeat(32);
+        std::fs::write(store.path_of(&bogus), "{}").unwrap();
+
+        let keep: HashSet<String> = [hash.clone()].into_iter().collect();
+        assert_eq!(store.gc(&keep).unwrap(), 1);
+        assert!(store.contains(&hash));
+        assert!(!store.contains(&bogus));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

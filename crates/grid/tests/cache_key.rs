@@ -1,0 +1,141 @@
+//! Cache-key property tests: identical resolved configurations collide;
+//! any change to a field that can alter the simulation changes the key.
+
+use chronus_core::MechanismKind;
+use chronus_ctrl::AddressMapping;
+use chronus_dram::TimingMode;
+use chronus_grid::{cell_hash, AppTrace, CellSpec, WorkloadSpec};
+use chronus_sim::SimConfig;
+use proptest::prelude::*;
+
+const MECHS: [MechanismKind; 12] = [
+    MechanismKind::None,
+    MechanismKind::Prfm,
+    MechanismKind::Prac1,
+    MechanismKind::Prac2,
+    MechanismKind::Prac4,
+    MechanismKind::PracPrfm,
+    MechanismKind::Chronus,
+    MechanismKind::ChronusPb,
+    MechanismKind::Graphene,
+    MechanismKind::Hydra,
+    MechanismKind::Para,
+    MechanismKind::Abacus,
+];
+
+fn cell(mech_idx: usize, nrh: u32, instructions: u64, seed: u64) -> CellSpec {
+    let mut cfg = SimConfig::four_core();
+    cfg.mechanism = MECHS[mech_idx % MECHS.len()];
+    cfg.nrh = nrh;
+    cfg.instructions_per_core = instructions;
+    cfg.seed = seed;
+    let workload = WorkloadSpec::Apps {
+        apps: (0..4)
+            .map(|i| AppTrace::new("470.lbm", i, seed ^ (i << 8)))
+            .collect(),
+        trace_instructions: instructions + instructions / 10,
+    };
+    CellSpec::new("prop", workload, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn identical_configs_collide(
+        mech in 0usize..12,
+        nrh in 16u32..2048,
+        instructions in 1_000u64..1_000_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = cell(mech, nrh, instructions, seed);
+        let b = cell(mech, nrh, instructions, seed);
+        prop_assert_eq!(cell_hash(&a), cell_hash(&b));
+    }
+
+    #[test]
+    fn each_field_changes_the_key(
+        mech in 0usize..12,
+        nrh in 16u32..2048,
+        instructions in 1_000u64..1_000_000,
+        seed in 0u64..1_000_000,
+    ) {
+        let base = cell(mech, nrh, instructions, seed);
+        let h = cell_hash(&base);
+
+        // Mechanism.
+        let other = cell(mech + 1, nrh, instructions, seed);
+        prop_assert_ne!(&h, &cell_hash(&other));
+
+        // RowHammer threshold.
+        let other = cell(mech, nrh + 1, instructions, seed);
+        prop_assert_ne!(&h, &cell_hash(&other));
+
+        // Instruction budget (also perturbs the generated trace length).
+        let other = cell(mech, nrh, instructions + 1, seed);
+        prop_assert_ne!(&h, &cell_hash(&other));
+
+        // Seed (flows into config and workload identity).
+        let other = cell(mech, nrh, instructions, seed + 1);
+        prop_assert_ne!(&h, &cell_hash(&other));
+    }
+
+    #[test]
+    fn config_overrides_change_the_key(
+        mech in 0usize..12,
+        nrh in 16u32..2048,
+    ) {
+        let base = cell(mech, nrh, 10_000, 7);
+        let h = cell_hash(&base);
+
+        let mut c = base.clone();
+        c.config.threshold_override = Some(4);
+        prop_assert_ne!(&h, &cell_hash(&c));
+
+        let mut c = base.clone();
+        c.config.mapping = Some(AddressMapping::AbacusMop);
+        prop_assert_ne!(&h, &cell_hash(&c));
+
+        let mut c = base.clone();
+        c.config.timing_override = Some(TimingMode::PracBuggy);
+        prop_assert_ne!(&h, &cell_hash(&c));
+
+        let mut c = base.clone();
+        c.config.oracle = true;
+        prop_assert_ne!(&h, &cell_hash(&c));
+
+        let mut c = base.clone();
+        c.config.max_mem_cycles += 1;
+        prop_assert_ne!(&h, &cell_hash(&c));
+    }
+
+    #[test]
+    fn workload_identity_changes_the_key(
+        nrh in 16u32..2048,
+        slot in 0u64..64,
+    ) {
+        let base = cell(0, nrh, 10_000, 7);
+        let h = cell_hash(&base);
+
+        // A different app profile.
+        let mut c = base.clone();
+        if let WorkloadSpec::Apps { apps, .. } = &mut c.workload {
+            apps[0].app = "429.mcf".into();
+        }
+        prop_assert_ne!(&h, &cell_hash(&c));
+
+        // A different placement slot.
+        let mut c = base.clone();
+        if let WorkloadSpec::Apps { apps, .. } = &mut c.workload {
+            apps[0].slot = slot + 100;
+        }
+        prop_assert_ne!(&h, &cell_hash(&c));
+
+        // A different trace length.
+        let mut c = base.clone();
+        if let WorkloadSpec::Apps { trace_instructions, .. } = &mut c.workload {
+            *trace_instructions += 1;
+        }
+        prop_assert_ne!(&h, &cell_hash(&c));
+    }
+}

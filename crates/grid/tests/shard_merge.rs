@@ -1,0 +1,125 @@
+//! Acceptance tests for the grid engine:
+//!
+//! * running `--shard 1/2` then `--shard 2/2` and merging is byte-identical
+//!   to one unsharded run;
+//! * a repeated run completes entirely from the result store with zero
+//!   simulations.
+
+use std::path::PathBuf;
+
+use chronus_core::MechanismKind;
+use chronus_grid::{
+    merge, run_grid, AppTrace, CellSpec, ExecOpts, GridSpec, ResultStore, Shard, WorkloadSpec,
+};
+use chronus_sim::SimConfig;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chronus-grid-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 4-cell grid: 2 apps × 2 N_RH under Chronus, small enough to simulate
+/// in well under a second per cell.
+fn sample_grid() -> GridSpec {
+    let mut spec = GridSpec::new("it-sample");
+    for (slot, app) in ["511.povray", "429.mcf"].iter().enumerate() {
+        for nrh in [1024u32, 32] {
+            let mut cfg = SimConfig::single_core();
+            cfg.instructions_per_core = 2_000;
+            cfg.mechanism = MechanismKind::Chronus;
+            cfg.nrh = nrh;
+            cfg.seed = 42;
+            cfg.max_mem_cycles = 1 << 22;
+            let workload = WorkloadSpec::Apps {
+                apps: vec![AppTrace::new(*app, slot as u64, 42 ^ ((slot as u64) << 8))],
+                trace_instructions: 2_400,
+            };
+            spec.push(CellSpec::new(format!("{app}@{nrh}"), workload, cfg));
+        }
+    }
+    spec
+}
+
+fn opts(shard: Shard) -> ExecOpts {
+    ExecOpts {
+        threads: 2,
+        shard,
+        progress: false,
+    }
+}
+
+/// Merged reports rendered exactly as `chronus-sweep merge` writes them.
+fn merged_bytes(spec: &GridSpec, store: &ResultStore) -> String {
+    let reports = merge(spec, store).expect("grid complete");
+    serde_json::to_string_pretty(&reports).unwrap()
+}
+
+#[test]
+fn sharded_runs_merge_byte_identical_to_unsharded() {
+    let spec = sample_grid();
+
+    // Unsharded reference run.
+    let dir_a = scratch("unsharded");
+    let store_a = ResultStore::open(&dir_a).unwrap();
+    let out = run_grid(&spec, Some(&store_a), &opts(Shard::full()));
+    assert!(out.is_complete());
+    assert_eq!(out.stats.simulated, 4);
+    let reference = merged_bytes(&spec, &store_a);
+
+    // Two shards into a second, independent store.
+    let dir_b = scratch("sharded");
+    let store_b = ResultStore::open(&dir_b).unwrap();
+    let one = run_grid(&spec, Some(&store_b), &opts("1/2".parse().unwrap()));
+    assert!(
+        !one.is_complete(),
+        "shard 1/2 must leave cells to shard 2/2"
+    );
+    assert_eq!(one.stats.simulated + one.stats.skipped, 4);
+    let two = run_grid(&spec, Some(&store_b), &opts("2/2".parse().unwrap()));
+    assert_eq!(one.stats.simulated + two.stats.simulated, 4);
+    assert_eq!(two.stats.cached, one.stats.simulated);
+
+    // Merge after sharding is byte-identical to the unsharded run.
+    assert_eq!(merged_bytes(&spec, &store_b), reference);
+
+    // The stores themselves hold byte-identical entries.
+    let hashes = store_a.list().unwrap();
+    assert_eq!(hashes, store_b.list().unwrap());
+    for h in &hashes {
+        let a = std::fs::read(store_a.path_of(h)).unwrap();
+        let b = std::fs::read(store_b.path_of(h)).unwrap();
+        assert_eq!(a, b, "stored entry {h} differs between stores");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn second_run_is_pure_cache_hits() {
+    let spec = sample_grid();
+    let dir = scratch("rerun");
+    let store = ResultStore::open(&dir).unwrap();
+
+    let first = run_grid(&spec, Some(&store), &opts(Shard::full()));
+    assert_eq!(first.stats.simulated, 4);
+    assert_eq!(first.stats.cached, 0);
+
+    let second = run_grid(&spec, Some(&store), &opts(Shard::full()));
+    assert_eq!(second.stats.simulated, 0, "second run must not simulate");
+    assert_eq!(second.stats.cached, 4, "second run must be 100% cache hits");
+    assert_eq!(second.reports, first.reports);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_reports_missing_cells() {
+    let spec = sample_grid();
+    let dir = scratch("missing");
+    let store = ResultStore::open(&dir).unwrap();
+    run_grid(&spec, Some(&store), &opts("1/2".parse().unwrap()));
+    let missing = merge(&spec, &store).expect_err("half the grid is missing");
+    assert_eq!(missing, vec![1, 3], "shard 1/2 owns cells 0 and 2");
+}

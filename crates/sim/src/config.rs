@@ -4,9 +4,15 @@ use chronus_core::MechanismKind;
 use chronus_cpu::{CacheConfig, CoreConfig};
 use chronus_ctrl::AddressMapping;
 use chronus_dram::{Geometry, TimingMode};
+use serde::{Deserialize, Serialize};
 
 /// Everything needed to build a [`crate::System`].
-#[derive(Debug, Clone)]
+///
+/// Serialization is stable field-by-field JSON: the experiment-grid result
+/// cache (`chronus-grid`) derives its content-addressed cell keys from this
+/// representation, so renaming or reordering fields invalidates cached
+/// sweeps (which is the safe direction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Number of cores (and traces).
     pub num_cores: usize,

@@ -3,14 +3,16 @@
 use chronus_ctrl::{CtrlMitigationStats, CtrlStats};
 use chronus_dram::{DramStats, MitigationStats};
 use chronus_energy::EnergyBreakdown;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Everything a run produces.
 ///
 /// `PartialEq` compares every field (including floats) exactly — the loop
 /// equivalence harness relies on bit-identical reports between
-/// [`crate::System::run`] and [`crate::System::run_reference`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// [`crate::System::run`] and [`crate::System::run_reference`], and the
+/// grid result store relies on serialize → deserialize → re-serialize
+/// being byte-identical (see `crates/sim/tests/report_roundtrip.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Mechanism label.
     pub mechanism: String,

@@ -1,0 +1,82 @@
+//! Pins the JSON cache format of the grid result store: serializing a
+//! `SimReport` (or `SimConfig`), parsing it back, and re-serializing must
+//! be byte-identical, and the parsed value must equal the original.
+
+use chronus_core::MechanismKind;
+use chronus_sim::{SimConfig, SimReport, System};
+use chronus_workloads::synthetic_app;
+
+fn small_report(mech: MechanismKind, oracle: bool) -> (SimConfig, SimReport) {
+    let mut cfg = SimConfig::single_core();
+    cfg.instructions_per_core = 8_000;
+    cfg.mechanism = mech;
+    cfg.nrh = 64;
+    cfg.oracle = oracle;
+    let trace = synthetic_app("429.mcf", 0)
+        .expect("known app")
+        .generate(10_000, 3);
+    let report = System::build(&cfg).run(vec![trace]);
+    (cfg, report)
+}
+
+fn assert_roundtrip(report: &SimReport) {
+    let compact = serde_json::to_string(report).unwrap();
+    let parsed: SimReport = serde_json::from_str(&compact).unwrap();
+    assert_eq!(&parsed, report, "parsed report differs from the original");
+    let again = serde_json::to_string(&parsed).unwrap();
+    assert_eq!(again, compact, "re-serialization is not byte-identical");
+
+    // Pretty output (the on-disk store format) must round-trip too.
+    let pretty = serde_json::to_string_pretty(report).unwrap();
+    let parsed_pretty: SimReport = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&parsed_pretty).unwrap(),
+        pretty
+    );
+}
+
+#[test]
+fn report_roundtrip_baseline() {
+    let (_, report) = small_report(MechanismKind::None, false);
+    assert!(report.oracle_max_acts.is_none(), "oracle off → None fields");
+    assert_roundtrip(&report);
+}
+
+#[test]
+fn report_roundtrip_mechanism_with_oracle() {
+    // Chronus with the oracle attached exercises the Option<..> = Some
+    // paths and the mitigation counters.
+    let (_, report) = small_report(MechanismKind::Chronus, true);
+    assert!(report.oracle_max_acts.is_some());
+    assert_roundtrip(&report);
+}
+
+#[test]
+fn config_roundtrip_is_byte_identical() {
+    let mut cfg = SimConfig::four_core();
+    cfg.mechanism = MechanismKind::Prac4;
+    cfg.nrh = 32;
+    cfg.threshold_override = Some(4);
+    cfg.mapping = Some(chronus_ctrl::AddressMapping::AbacusMop);
+    cfg.timing_override = Some(chronus_dram::TimingMode::PracBuggy);
+    let compact = serde_json::to_string(&cfg).unwrap();
+    let parsed: SimConfig = serde_json::from_str(&compact).unwrap();
+    assert_eq!(parsed, cfg);
+    assert_eq!(serde_json::to_string(&parsed).unwrap(), compact);
+}
+
+#[test]
+fn missing_fields_fail_to_parse() {
+    // A document from an older schema (field absent) must error — not
+    // default the field — so the grid store treats stale entries as
+    // misses and re-simulates instead of serving partial reports.
+    let cfg = SimConfig::four_core();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let pruned = json.replacen("\"nrh\":1024,", "", 1);
+    assert_ne!(pruned, json, "test must actually remove the field");
+    let err = serde_json::from_str::<SimConfig>(&pruned).unwrap_err();
+    assert!(
+        err.to_string().contains("missing field"),
+        "unexpected error: {err}"
+    );
+}

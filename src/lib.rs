@@ -20,6 +20,9 @@
 //! * [`workloads`] — synthetic trace generation standing in for the paper's
 //!   SPEC/TPC/MediaBench/YCSB traces.
 //! * [`sim`] — full-system wiring and parallel experiment runner.
+//! * [`grid`] — sharded, cached, resumable experiment-grid orchestration
+//!   (declarative cell specs, content-addressed result store, `--shard i/N`
+//!   partitioning with byte-identical merge).
 //!
 //! ## Quickstart
 //!
@@ -41,6 +44,7 @@ pub use chronus_cpu as cpu;
 pub use chronus_ctrl as ctrl;
 pub use chronus_dram as dram;
 pub use chronus_energy as energy;
+pub use chronus_grid as grid;
 pub use chronus_security as security;
 pub use chronus_sim as sim;
 pub use chronus_workloads as workloads;

@@ -2,16 +2,20 @@
 //!
 //! The build environment has no crates.io access, so this workspace vendors
 //! a minimal serialization facade with the same surface the codebase uses:
-//! `#[derive(Serialize, Deserialize)]` plus `serde_json::to_string_pretty`.
-//! Instead of serde's full data model, [`Serialize`] writes JSON directly
-//! through a [`json::JsonWriter`]; the derive macros (re-exported from
-//! `serde_derive`) generate field-wise writers for plain structs and enums,
-//! which covers every type this repository serializes.
+//! `#[derive(Serialize, Deserialize)]` plus `serde_json::to_string_pretty`
+//! and `serde_json::from_str`. Instead of serde's full data model,
+//! [`Serialize`] writes JSON directly through a [`json::JsonWriter`] and
+//! [`Deserialize`] reads fields out of a parsed [`value::JsonValue`] tree;
+//! the derive macros (re-exported from `serde_derive`) generate field-wise
+//! writers and readers for plain structs and enums, which covers every type
+//! this repository serializes.
 
 pub mod json;
+pub mod value;
 
 pub use json::JsonWriter;
 pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, JsonValue};
 
 /// A value that can write itself as JSON.
 pub trait Serialize {
@@ -19,9 +23,155 @@ pub trait Serialize {
     fn json_write(&self, w: &mut JsonWriter);
 }
 
-/// Marker trait kept so `#[derive(Deserialize)]` in downstream code keeps
-/// compiling; no deserialization is performed anywhere in the workspace.
-pub trait Deserialize {}
+/// A value that can reconstruct itself from a parsed JSON tree.
+///
+/// The inverse of [`Serialize`]: `T::from_json(&parse(to_json(&t)))`
+/// yields a value equal to `t` for every shape the derive supports.
+pub trait Deserialize: Sized {
+    /// Reads one value out of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first shape or type mismatch.
+    fn from_json(v: &JsonValue) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+                match v {
+                    JsonValue::Num(tok) => tok.parse::<$t>().map_err(|e| {
+                        DeError::new(format!(
+                            "invalid {}: '{tok}' ({e})", stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::new(format!(
+                        "expected {}, found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for bool {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Num(tok) => tok
+                .parse::<f64>()
+                .map_err(|e| DeError::new(format!("invalid f64: '{tok}' ({e})"))),
+            // The writer emits null for non-finite floats.
+            JsonValue::Null => Ok(f64::NAN),
+            other => Err(DeError::new(format!(
+                "expected f64, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        f64::from_json(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        let s = String::from_json(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::new(format!("expected single-char string: '{s}'"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        let elems = v.expect_arr("Vec")?;
+        let mut out = Vec::with_capacity(elems.len());
+        for (i, e) in elems.iter().enumerate() {
+            out.push(T::from_json(e).map_err(|err| err.at(&format!("[{i}]")))?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+        let vec = Vec::<T>::from_json(v)?;
+        let n = vec.len();
+        vec.try_into()
+            .map_err(|_| DeError::new(format!("expected array of {N} elements, found {n}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &JsonValue) -> Result<Self, DeError> {
+                let elems = v.expect_arr("tuple")?;
+                let len = 0 $(+ { let _ = stringify!($t); 1 })+;
+                if elems.len() != len {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {len} elements, found {}", elems.len()
+                    )));
+                }
+                Ok(($($t::from_json(&elems[$n]).map_err(|e| e.at(&format!("[{}]", $n)))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
 
 macro_rules! impl_int {
     ($($t:ty),*) => {$(

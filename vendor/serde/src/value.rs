@@ -1,0 +1,392 @@
+//! A parsed JSON tree and a recursive-descent parser for it.
+//!
+//! [`JsonValue`] is the input side of the vendored serde stand-in: the
+//! derive-generated [`crate::Deserialize`] impls read their fields out of a
+//! parsed tree. Number tokens keep their source text ([`JsonValue::Num`])
+//! so integers up to the full `u64`/`i64` range survive a round trip
+//! without detouring through `f64`.
+
+use std::fmt;
+
+/// Deserialization error with a breadcrumb of where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A fresh error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// Prefixes location context (`"SimReport.ipc: ..."`).
+    #[must_use]
+    pub fn at(self, ctx: &str) -> Self {
+        Self {
+            msg: format!("{ctx}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source token so integer precision is exact.
+    Num(String),
+    /// A string (escapes already resolved).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// Shared `null` for absent object members.
+pub static NULL: JsonValue = JsonValue::Null;
+
+impl JsonValue {
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    pub fn parse(text: &str) -> Result<JsonValue, DeError> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(DeError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup; `&NULL` when absent or when `self` is not an object.
+    pub fn field(&self, key: &str) -> &JsonValue {
+        if let JsonValue::Obj(members) = self {
+            for (k, v) in members {
+                if k == key {
+                    return v;
+                }
+            }
+        }
+        &NULL
+    }
+
+    /// Member lookup that errors when the key is absent — the derive uses
+    /// this so a document from an older schema (missing fields) fails to
+    /// parse instead of silently defaulting `Option`/`f64` fields; a
+    /// corrupt or stale cache entry must re-simulate, not serve NaNs.
+    pub fn require(&self, what: &str, key: &str) -> Result<&JsonValue, DeError> {
+        let members = self.expect_obj(what)?;
+        for (k, v) in members {
+            if k == key {
+                return Ok(v);
+            }
+        }
+        Err(DeError::new(format!("missing field {what}.{key}")))
+    }
+
+    /// The object members, or an error naming the expected type.
+    pub fn expect_obj(&self, what: &str) -> Result<&[(String, JsonValue)], DeError> {
+        match self {
+            JsonValue::Obj(m) => Ok(m),
+            other => Err(DeError::new(format!(
+                "expected object for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The array elements, or an error naming the expected type.
+    pub fn expect_arr(&self, what: &str) -> Result<&[JsonValue], DeError> {
+        match self {
+            JsonValue::Arr(v) => Ok(v),
+            other => Err(DeError::new(format!(
+                "expected array for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The single `{"Variant": payload}` member of an enum object.
+    pub fn expect_variant(&self, what: &str) -> Result<(&str, &JsonValue), DeError> {
+        let members = self.expect_obj(what)?;
+        if members.len() != 1 {
+            return Err(DeError::new(format!(
+                "expected single-variant object for {what}, found {} members",
+                members.len()
+            )));
+        }
+        Ok((&members[0].0, &members[0].1))
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Arr(_) => "array",
+            JsonValue::Obj(_) => "object",
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn err(&self, msg: &str) -> DeError {
+        DeError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, DeError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, DeError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(&format!("unexpected character '{}'", other as char))),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, DeError> {
+        self.expect_byte(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, DeError> {
+        self.expect_byte(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(out));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DeError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogate pairs are not emitted by the writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // `pos` only ever advances past ASCII or whole chars, so
+                    // it is always a char boundary of the source &str.
+                    let c = self.text[self.pos..].chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number tokens are ASCII")
+            .to_string();
+        Ok(JsonValue::Num(token))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(
+            JsonValue::parse(" -12.5e3 ").unwrap(),
+            JsonValue::Num("-12.5e3".into())
+        );
+        assert_eq!(
+            JsonValue::parse(r#""a\"\nAb""#).unwrap(),
+            JsonValue::Str("a\"\nAb".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = JsonValue::parse(r#"{"a": [1, 2], "b": {"c": null}}"#).unwrap();
+        assert_eq!(v.field("a").expect_arr("a").unwrap().len(), 2);
+        assert_eq!(v.field("b").field("c"), &JsonValue::Null);
+        assert_eq!(v.field("missing"), &JsonValue::Null);
+    }
+
+    #[test]
+    fn big_integers_keep_precision() {
+        let v = JsonValue::parse("18446744073709551615").unwrap();
+        assert_eq!(v, JsonValue::Num("18446744073709551615".into()));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("1 2").is_err());
+        assert!(JsonValue::parse("nul").is_err());
+    }
+}

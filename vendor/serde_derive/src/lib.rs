@@ -107,12 +107,113 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("derive(Serialize): generated code must parse")
 }
 
-/// Generates the (empty) marker `Deserialize` impl.
+/// Generates a JSON `Deserialize` impl (the inverse of the `Serialize`
+/// derive: same field names, same enum representation).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let p = parse(input);
-    format!("impl serde::Deserialize for {} {{}}\n", p.name)
-        .parse()
+    let ty = &p.name;
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!("v.expect_obj(\"{ty}\")?;\nOk({ty} {{\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: serde::Deserialize::from_json(v.require(\"{ty}\", \"{f}\")?)\
+                     .map_err(|e| e.at(\"{ty}.{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})\n");
+            s
+        }
+        Shape::UnitStruct => format!(
+            "match v {{\n\
+             serde::JsonValue::Null => Ok({ty}),\n\
+             other => Err(serde::DeError::new(format!(\n\
+             \"expected null for {ty}, found {{}}\", other.kind()))),\n\
+             }}\n"
+        ),
+        Shape::Enum(variants) => {
+            let mut s = String::from("if let Some(s) = v.as_str() {\nreturn match s {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vn = &v.name;
+                    s.push_str(&format!("\"{vn}\" => Ok({ty}::{vn}),\n"));
+                }
+            }
+            s.push_str(&format!(
+                "other => Err(serde::DeError::new(format!(\n\
+                 \"unknown {ty} variant '{{other}}'\"))),\n}};\n}}\n"
+            ));
+            let payload: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            if payload.is_empty() {
+                s.push_str(&format!(
+                    "Err(serde::DeError::new(format!(\n\
+                     \"expected string for {ty}, found {{}}\", v.kind())))\n"
+                ));
+            } else {
+                s.push_str(&format!(
+                    "let (tag, inner) = v.expect_variant(\"{ty}\")?;\nmatch tag {{\n"
+                ));
+                for v in payload {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!("filtered above"),
+                        VariantKind::Tuple(1) => {
+                            s.push_str(&format!(
+                                "\"{vn}\" => Ok({ty}::{vn}(\
+                                 serde::Deserialize::from_json(inner)\
+                                 .map_err(|e| e.at(\"{ty}::{vn}\"))?)),\n"
+                            ));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let mut arm = format!(
+                                "\"{vn}\" => {{\n\
+                                 let elems = inner.expect_arr(\"{ty}::{vn}\")?;\n\
+                                 if elems.len() != {n} {{\n\
+                                 return Err(serde::DeError::new(format!(\n\
+                                 \"{ty}::{vn}: expected {n} elements, found {{}}\", elems.len())));\n\
+                                 }}\n\
+                                 Ok({ty}::{vn}(\n"
+                            );
+                            for i in 0..*n {
+                                arm.push_str(&format!(
+                                    "serde::Deserialize::from_json(&elems[{i}])\
+                                     .map_err(|e| e.at(\"{ty}::{vn}[{i}]\"))?,\n"
+                                ));
+                            }
+                            arm.push_str("))\n}\n");
+                            s.push_str(&arm);
+                        }
+                        VariantKind::Named(fields) => {
+                            let mut arm = format!("\"{vn}\" => Ok({ty}::{vn} {{\n");
+                            for f in fields {
+                                arm.push_str(&format!(
+                                    "{f}: serde::Deserialize::from_json(\
+                                     inner.require(\"{ty}::{vn}\", \"{f}\")?)\
+                                     .map_err(|e| e.at(\"{ty}::{vn}.{f}\"))?,\n"
+                                ));
+                            }
+                            arm.push_str("}),\n");
+                            s.push_str(&arm);
+                        }
+                    }
+                }
+                s.push_str(&format!(
+                    "other => Err(serde::DeError::new(format!(\n\
+                     \"unknown {ty} variant '{{other}}'\"))),\n}}\n"
+                ));
+            }
+            s
+        }
+    };
+    let out = format!(
+        "impl serde::Deserialize for {ty} {{\n\
+         fn from_json(v: &serde::JsonValue) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse()
         .expect("derive(Deserialize): generated code must parse")
 }
 

@@ -1,21 +1,26 @@
 //! Offline stand-in for `serde_json`: renders any vendored-`serde`
-//! `Serialize` value to JSON text. Only the output half is implemented —
-//! nothing in this workspace parses JSON back.
+//! `Serialize` value to JSON text and parses text back through the
+//! vendored `Deserialize` trait ([`from_str`]).
 
-use serde::{JsonWriter, Serialize};
+use serde::{Deserialize, JsonValue, JsonWriter, Serialize};
 
-/// Serialization error. The vendored writer is infallible, so this type
-/// exists purely for signature compatibility.
+/// Serialization/deserialization error.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.to_string())
+    }
+}
 
 /// Compact JSON text for `value`.
 ///
@@ -39,6 +44,16 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(w.finish())
 }
 
+/// Parses a JSON document into any `Deserialize` type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape/type mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let v = JsonValue::parse(text)?;
+    Ok(T::from_json(&v)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,5 +63,22 @@ mod tests {
         let v = vec![1u32, 2];
         assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
         assert_eq!(to_string(&v).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn from_str_roundtrips_containers() {
+        let v: Vec<u64> = from_str("[1, 18446744073709551615]").unwrap();
+        assert_eq!(v, vec![1, u64::MAX]);
+        let o: Option<f64> = from_str("null").unwrap();
+        assert_eq!(o, None);
+        let t: (u8, String) = from_str(r#"[3, "x"]"#).unwrap();
+        assert_eq!(t, (3, "x".to_string()));
+    }
+
+    #[test]
+    fn from_str_reports_errors() {
+        assert!(from_str::<Vec<u64>>("[1,").is_err());
+        assert!(from_str::<u32>("\"nope\"").is_err());
+        assert!(from_str::<u8>("300").is_err());
     }
 }
