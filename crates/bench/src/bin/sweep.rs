@@ -6,9 +6,16 @@
 //! chronus-sweep status <grid|all> [flags] cache accounting, no simulation
 //! chronus-sweep merge  <grid> [flags]     assemble a complete grid from
 //!                                         the store (--out FILE for JSON)
+//! chronus-sweep fsck   [flags]            verify every store entry;
+//!                                         quarantine corrupt ones
 //! chronus-sweep gc     [flags]            drop store entries no current
 //!                                         grid references
 //! ```
+//!
+//! Exit codes: `0` clean, `2` usage error, `3` degraded — `run` with
+//! permanently failed cells, `status`/`merge` over corrupt or failed
+//! entries, `fsck` that quarantined anything. Quarantined cells re-enter
+//! the grid as plain cache misses: the next `run` re-simulates them.
 //!
 //! Flags are the shared harness flags (`--instructions`, `--mixes`,
 //! `--seed`, `--nrh`, `--threads`, `--shard`, `--grid-dir`, `--no-cache`,
@@ -29,11 +36,11 @@ use std::collections::HashSet;
 use chronus_bench::grids::{build_spec, GRID_NAMES};
 use chronus_bench::opts::{HarnessOpts, ParseOutcome, VALUELESS_FLAGS};
 use chronus_bench::{format_table, write_json};
-use chronus_grid::{merge, run_grid, GridSpec, ResultStore};
+use chronus_grid::{merge, run_grid, EntryState, GridSpec, ResultStore, DEGRADED_EXIT};
 
 fn usage() -> String {
     format!(
-        "chronus-sweep: experiment-grid console (list | run | status | merge | gc)\n\
+        "chronus-sweep: experiment-grid console (list | run | status | merge | fsck | gc)\n\
          grids: {}  (or 'all')\n{}",
         GRID_NAMES.join(" "),
         HarnessOpts::usage("chronus-sweep")
@@ -81,6 +88,7 @@ fn main() {
         "run" => run(grid_arg, &opts),
         "status" => status(grid_arg, &opts),
         "merge" => merge_cmd(grid_arg, &opts),
+        "fsck" => fsck(&opts),
         "gc" => gc(&opts),
         other => fail(&format!("unknown command '{other}'")),
     }
@@ -155,6 +163,7 @@ fn list(grid_arg: Option<&str>, opts: &HarnessOpts) {
 fn run(grid_arg: Option<&str>, opts: &HarnessOpts) {
     let store = (!opts.no_cache).then(|| store_of(opts));
     let exec = chronus_bench::runs::exec_opts(opts);
+    let mut degraded = false;
     for spec in specs_for(grid_arg, opts) {
         let outcome = run_grid(&spec, store.as_ref(), &exec);
         println!(
@@ -164,21 +173,67 @@ fn run(grid_arg: Option<&str>, opts: &HarnessOpts) {
             outcome.stats.summary(),
             outcome.wall_seconds
         );
+        if outcome.is_degraded() {
+            degraded = true;
+            for f in &outcome.failures {
+                println!(
+                    "chronus-sweep: grid={} FAILED cell #{} '{}' ({:?} after {} attempt(s)): {}",
+                    spec.name, f.index, f.label, f.kind, f.attempts, f.error
+                );
+            }
+        }
+    }
+    if degraded {
+        eprintln!(
+            "chronus-sweep: run degraded — rerun the same command to retry failed cells \
+             (completed cells replay from the store)"
+        );
+        std::process::exit(DEGRADED_EXIT);
     }
 }
 
 fn status(grid_arg: Option<&str>, opts: &HarnessOpts) {
     let store = store_of(opts);
+    let mut degraded = false;
     for spec in specs_for(grid_arg, opts) {
         let hashes = spec.hashes();
-        let cached = hashes.iter().filter(|h| store.contains(h)).count();
+        // `verify` (not `contains`): a truncated or tampered entry must
+        // show up as corrupt here, never crash the accounting.
+        let mut cached = 0usize;
+        let mut corrupt = 0usize;
+        for h in &hashes {
+            match store.verify(h) {
+                EntryState::Ok(_) => cached += 1,
+                EntryState::Bad(_) => corrupt += 1,
+                EntryState::Missing => {}
+            }
+        }
+        let failed = store
+            .load_manifest(&spec.name)
+            .map_or(0, |m| m.failures.len());
         println!(
-            "chronus-sweep: grid={} cells={} cached={} missing={}",
+            "chronus-sweep: grid={} cells={} cached={} missing={} corrupt={} failed={}",
             spec.name,
             hashes.len(),
             cached,
-            hashes.len() - cached
+            hashes.len() - cached - corrupt,
+            corrupt,
+            failed
         );
+        if corrupt > 0 {
+            degraded = true;
+            eprintln!(
+                "chronus-sweep: grid={} has {corrupt} corrupt entries — \
+                 run `chronus-sweep fsck` to quarantine them",
+                spec.name
+            );
+        }
+        if failed > 0 {
+            degraded = true;
+        }
+    }
+    if degraded {
+        std::process::exit(DEGRADED_EXIT);
     }
 }
 
@@ -191,6 +246,7 @@ fn merge_cmd(grid_arg: Option<&str>, opts: &HarnessOpts) {
     if opts.out.is_some() && specs.len() > 1 {
         fail("merge --out needs a single grid name, not 'all' (each grid is one JSON file)");
     }
+    let mut degraded = false;
     for spec in specs {
         match merge(&spec, &store) {
             Ok(reports) => {
@@ -204,22 +260,70 @@ fn merge_cmd(grid_arg: Option<&str>, opts: &HarnessOpts) {
                     write_json(path, &reports);
                 }
             }
-            Err(missing) => {
-                let labels: Vec<String> = missing
-                    .iter()
-                    .take(8)
-                    .map(|&i| spec.cells[i].label.clone())
-                    .collect();
-                fail(&format!(
-                    "grid '{}' incomplete: {} of {} cells missing (first: {}) — run the \
-                     remaining shards first",
-                    spec.name,
-                    missing.len(),
-                    spec.len(),
-                    labels.join(", ")
-                ));
+            Err(holes) => {
+                // Distinguish never-ran from corrupt-on-disk: both block
+                // the merge, but the remedies differ (run shards vs fsck).
+                degraded = true;
+                let hashes = spec.hashes();
+                let (corrupt, missing): (Vec<usize>, Vec<usize>) = holes
+                    .into_iter()
+                    .partition(|&i| store.verify(&hashes[i]).is_bad());
+                let preview = |idx: &[usize]| -> String {
+                    idx.iter()
+                        .take(8)
+                        .map(|&i| spec.cells[i].label.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                if !missing.is_empty() {
+                    eprintln!(
+                        "chronus-sweep: grid='{}' incomplete: {} of {} cells missing \
+                         (first: {}) — run the remaining shards first",
+                        spec.name,
+                        missing.len(),
+                        spec.len(),
+                        preview(&missing)
+                    );
+                }
+                if !corrupt.is_empty() {
+                    eprintln!(
+                        "chronus-sweep: grid='{}': {} corrupt entries (first: {}) — \
+                         run `chronus-sweep fsck`, then rerun the grid",
+                        spec.name,
+                        corrupt.len(),
+                        preview(&corrupt)
+                    );
+                }
             }
         }
+    }
+    if degraded {
+        std::process::exit(DEGRADED_EXIT);
+    }
+}
+
+fn fsck(opts: &HarnessOpts) {
+    let store = store_of(opts);
+    match store.fsck() {
+        Ok(report) => {
+            println!(
+                "chronus-sweep: fsck {} ({})",
+                report.summary(),
+                store.dir().display()
+            );
+            for (name, issue) in &report.quarantined {
+                println!("chronus-sweep: quarantined {name}: {issue}");
+            }
+            if !report.quarantined.is_empty() {
+                eprintln!(
+                    "chronus-sweep: {} entries moved to {} — the next run re-simulates them",
+                    report.quarantined.len(),
+                    store.quarantine_dir().display()
+                );
+                std::process::exit(DEGRADED_EXIT);
+            }
+        }
+        Err(e) => fail(&format!("fsck failed: {e}")),
     }
 }
 

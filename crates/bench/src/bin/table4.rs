@@ -31,4 +31,5 @@ fn main() {
     if let Some(path) = opts.out {
         write_json(&path, &rows);
     }
+    chronus_bench::finish();
 }

@@ -28,6 +28,7 @@ pub mod tables;
 
 pub use opts::HarnessOpts;
 pub use runs::{
-    execute, mix_traces, run_mix, sweep_mixes, sweep_single_core, AppSweep, MixSweep, SweepRow,
+    execute, exit_code, finish, mix_traces, run_mix, sweep_mixes, sweep_single_core, AppSweep,
+    MixSweep, SweepRow,
 };
 pub use tables::{format_table, geomean, write_json};

@@ -28,6 +28,12 @@ pub struct HarnessOpts {
     pub no_cache: bool,
     /// Suppress per-cell progress/ETA lines (`--quiet`).
     pub quiet: bool,
+    /// Retry budget override for failed cells (`--retries N`); `None`
+    /// keeps the grid default.
+    pub retries: Option<u32>,
+    /// Hard per-cell watchdog deadline (`--cell-timeout SECS`); `None`
+    /// derives one adaptively from observed cell wall-clocks.
+    pub cell_timeout: Option<std::time::Duration>,
 }
 
 impl Default for HarnessOpts {
@@ -45,6 +51,8 @@ impl Default for HarnessOpts {
             grid_dir: None,
             no_cache: false,
             quiet: false,
+            retries: None,
+            cell_timeout: None,
         }
     }
 }
@@ -88,7 +96,8 @@ impl HarnessOpts {
             "{tool}: regenerates one artefact of the Chronus paper.\n\
              flags: --instructions N --mixes N --threads N --seed N \
              --nrh a,b,c --out FILE\n\
-             grid:  --shard i/N --grid-dir DIR --no-cache --quiet"
+             grid:  --shard i/N --grid-dir DIR --no-cache --quiet\n\
+             fault: --retries N --cell-timeout SECS (env: CHRONUS_FAULTS)"
         )
     }
 
@@ -128,6 +137,16 @@ impl HarnessOpts {
                         .map_err(|e| ParseOutcome::Invalid(format!("--shard: {e}")))?;
                 }
                 "--grid-dir" => o.grid_dir = Some(PathBuf::from(value("--grid-dir")?)),
+                "--retries" => o.retries = Some(parse_flag("--retries", &value("--retries")?)?),
+                "--cell-timeout" => {
+                    let secs: f64 = parse_flag("--cell-timeout", &value("--cell-timeout")?)?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(ParseOutcome::Invalid(format!(
+                            "--cell-timeout: '{secs}' is not a positive number of seconds"
+                        )));
+                    }
+                    o.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
+                }
                 "--no-cache" => o.no_cache = true,
                 "--quiet" => o.quiet = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
@@ -257,6 +276,26 @@ mod tests {
         assert!(matches!(
             parse(&["--shard", "5/2"]),
             Err(ParseOutcome::Invalid(msg)) if msg.contains("5/2")
+        ));
+    }
+
+    #[test]
+    fn parses_fault_tolerance_flags() {
+        let o = parse(&["--retries", "0", "--cell-timeout", "2.5"]).unwrap();
+        assert_eq!(o.retries, Some(0));
+        assert_eq!(
+            o.cell_timeout,
+            Some(std::time::Duration::from_millis(2_500))
+        );
+        assert_eq!(HarnessOpts::default().retries, None);
+        assert_eq!(HarnessOpts::default().cell_timeout, None);
+        assert!(matches!(
+            parse(&["--cell-timeout", "-3"]),
+            Err(ParseOutcome::Invalid(msg)) if msg.contains("--cell-timeout")
+        ));
+        assert!(matches!(
+            parse(&["--retries", "many"]),
+            Err(ParseOutcome::Invalid(msg)) if msg.contains("--retries")
         ));
     }
 

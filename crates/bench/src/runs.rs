@@ -6,10 +6,13 @@
 //! invocations complete from the content-addressed result store and
 //! `--shard i/N` splits any figure across processes or machines.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use chronus_core::MechanismKind;
 use chronus_cpu::Trace;
 use chronus_grid::{
-    run_grid, AppTrace, CellSpec, ExecOpts, GridOutcome, GridSpec, ResultStore, WorkloadSpec,
+    run_grid, AppTrace, CellSpec, ExecOpts, FaultInjector, FaultPlan, GridOutcome, GridSpec,
+    ResultStore, RetryPolicy, WorkloadSpec, DEGRADED_EXIT,
 };
 use chronus_sim::{SimConfig, SimReport, System};
 use chronus_workloads::{four_core_mixes, generator::synthetic_from_profile, AppProfile, Mix};
@@ -105,27 +108,60 @@ pub(crate) fn mix_workload(apps: &[AppProfile], opts: &HarnessOpts) -> WorkloadS
     }
 }
 
-/// Opens the result store the harness options point at.
+/// Set when any executed grid ended degraded; read by [`exit_code`] so the
+/// process reports [`DEGRADED_EXIT`] no matter how many grids a binary ran
+/// in between.
+static DEGRADED: AtomicBool = AtomicBool::new(false);
+
+/// Parses `CHRONUS_FAULTS` into an injector. A malformed spec is a usage
+/// error (exit 2) — silently running *without* the faults the user asked
+/// for would invalidate whatever they were testing.
+pub fn env_faults(tool: &str) -> Option<FaultInjector> {
+    match FaultPlan::from_env() {
+        Ok(plan) => plan.filter(FaultPlan::is_active).map(FaultPlan::injector),
+        Err(msg) => {
+            eprintln!("{tool}: ${}: {msg}", chronus_grid::FAULTS_ENV);
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Opens the result store the harness options point at, wiring any
+/// `CHRONUS_FAULTS` injection into its I/O path.
 pub fn open_store(opts: &HarnessOpts) -> ResultStore {
     let store = match &opts.grid_dir {
         Some(dir) => ResultStore::open(dir),
         None => ResultStore::open_default(),
     };
-    store.unwrap_or_else(|e| panic!("opening grid result store: {e}"))
+    store
+        .unwrap_or_else(|e| panic!("opening grid result store: {e}"))
+        .with_faults(env_faults("chronus-bench"))
 }
 
-/// Grid execution options derived from the harness options.
+/// Grid execution options derived from the harness options (including the
+/// `CHRONUS_FAULTS` environment).
 pub fn exec_opts(opts: &HarnessOpts) -> ExecOpts {
     ExecOpts {
         threads: opts.threads,
         shard: opts.shard,
         progress: !opts.quiet,
+        retry: match opts.retries {
+            Some(n) => RetryPolicy::with_retries(n),
+            None => RetryPolicy::default(),
+        },
+        cell_timeout: opts.cell_timeout,
+        faults: env_faults("chronus-bench"),
     }
 }
 
 /// Executes a spec with the harness options and prints the cache/shard
 /// accounting line on stderr. `--no-cache` runs without a store — no
 /// directory is created or read.
+///
+/// Cells that failed permanently never abort the binary: they are reported
+/// on stderr, recorded in the store's failure manifest, and flagged so
+/// [`exit_code`] returns [`DEGRADED_EXIT`] — the figure still renders from
+/// every healthy cell.
 pub fn execute(spec: &GridSpec, opts: &HarnessOpts) -> GridOutcome {
     let store = (!opts.no_cache).then(|| open_store(opts));
     let outcome = run_grid(spec, store.as_ref(), &exec_opts(opts));
@@ -141,12 +177,46 @@ pub fn execute(spec: &GridSpec, opts: &HarnessOpts) -> GridOutcome {
             outcome.wall_seconds,
         );
     }
-    if !outcome.is_complete() && opts.shard.is_full() {
-        // With a full shard every cell should resolve; a hole means the
-        // store rejected writes or a worker died.
+    if outcome.is_degraded() {
+        DEGRADED.store(true, Ordering::Relaxed);
+        eprintln!(
+            "[{}] DEGRADED: {} cell(s) failed permanently:",
+            spec.name,
+            outcome.failures.len()
+        );
+        for f in &outcome.failures {
+            eprintln!(
+                "[{}]   #{} '{}' ({:?} after {} attempt(s)): {}",
+                spec.name, f.index, f.label, f.kind, f.attempts, f.error
+            );
+        }
+        eprintln!(
+            "[{}] rerun the same command to retry the failed cells \
+             (completed cells replay from the store)",
+            spec.name
+        );
+    } else if !outcome.is_complete() && opts.shard.is_full() {
+        // With a full shard and zero recorded failures every cell should
+        // resolve; a hole here means the executor itself lost track.
         panic!("grid '{}' incomplete after a full (1/1) run", spec.name);
     }
     outcome
+}
+
+/// The exit code this process should end with: [`DEGRADED_EXIT`] if any
+/// grid executed so far was degraded, `0` otherwise.
+pub fn exit_code() -> i32 {
+    if DEGRADED.load(Ordering::Relaxed) {
+        DEGRADED_EXIT
+    } else {
+        0
+    }
+}
+
+/// Terminates the process with [`exit_code`] — the last line of every
+/// figure binary, so degraded grids surface to scripts and CI.
+pub fn finish() -> ! {
+    std::process::exit(exit_code());
 }
 
 fn preventive_rows(report: &SimReport) -> u64 {

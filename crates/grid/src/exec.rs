@@ -1,16 +1,38 @@
-//! The grid executor: cache lookup, shard filtering, parallel simulation,
-//! store write-back, and the order-preserving merge.
+//! The grid executor: cache lookup, shard filtering, fault-isolated
+//! parallel simulation, store write-back, and the order-preserving merge.
+//!
+//! Cell execution is *fault-isolated*: every attempt runs in its own
+//! watchdog-guarded thread behind `catch_unwind`, failures (panics,
+//! deadline overruns, store write errors) are retried under a capped
+//! exponential backoff, and cells that exhaust their retries are recorded
+//! in a [`FailureManifest`] instead of aborting the run. A degraded grid
+//! still completes every healthy cell, persists everything it computed,
+//! and reports the casualties — the contract multi-hour, multi-machine
+//! sweeps depend on.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use chronus_sim::{run_parallel, SimReport, System};
+use chronus_sim::{try_run_parallel, SimReport, System};
+use serde::{Deserialize, Serialize};
 
 use crate::cell::CellSpec;
+use crate::faults::{ExecFault, FaultInjector};
+use crate::hash::mix64;
 use crate::progress::Progress;
+use crate::retry::RetryPolicy;
 use crate::shard::Shard;
 use crate::spec::GridSpec;
 use crate::store::ResultStore;
+
+/// Process exit code of a run that completed in degraded mode (some cells
+/// failed permanently and are listed in the failure manifest). Distinct
+/// from `2` (usage errors) so scripts can tell "rerun me" from "fix the
+/// invocation".
+pub const DEGRADED_EXIT: i32 = 3;
 
 /// Execution options.
 #[derive(Debug, Clone)]
@@ -21,6 +43,15 @@ pub struct ExecOpts {
     pub shard: Shard,
     /// Progress/ETA lines on stderr.
     pub progress: bool,
+    /// Retry policy for failed cell attempts and store writes.
+    pub retry: RetryPolicy,
+    /// Hard per-cell watchdog deadline. `None` derives one adaptively from
+    /// the wall-clock of cells recorded so far (20× the observed mean,
+    /// floored at 30 s, armed only once three samples exist).
+    pub cell_timeout: Option<Duration>,
+    /// Deterministic fault injection at the executor boundary (see
+    /// [`crate::faults`]); `None` (the default) costs nothing.
+    pub faults: Option<FaultInjector>,
 }
 
 impl Default for ExecOpts {
@@ -31,6 +62,9 @@ impl Default for ExecOpts {
                 .unwrap_or(8),
             shard: Shard::full(),
             progress: true,
+            retry: RetryPolicy::default(),
+            cell_timeout: None,
+            faults: None,
         }
     }
 }
@@ -46,16 +80,69 @@ pub struct ExecStats {
     pub simulated: usize,
     /// Cells owned by other shards and not yet in the store.
     pub skipped: usize,
+    /// Cells that failed permanently (retries exhausted) and have no
+    /// report.
+    pub failed: usize,
 }
 
 impl ExecStats {
-    /// `cells=N cached=C simulated=S skipped=K` — the machine-readable form
-    /// the CI smoke job greps.
+    /// `cells=N cached=C simulated=S skipped=K failed=F` — the
+    /// machine-readable form the CI smoke jobs grep.
     pub fn summary(&self) -> String {
         format!(
-            "cells={} cached={} simulated={} skipped={}",
-            self.total, self.cached, self.simulated, self.skipped
+            "cells={} cached={} simulated={} skipped={} failed={}",
+            self.total, self.cached, self.simulated, self.skipped, self.failed
         )
+    }
+}
+
+/// How a cell (or its persistence) failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The simulation panicked on every attempt.
+    Panic,
+    /// The simulation overran its watchdog deadline on every attempt.
+    Timeout,
+    /// The simulation succeeded but the result could not be persisted;
+    /// the in-memory report was still returned.
+    StoreWrite,
+}
+
+/// One permanently failed cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellFailure {
+    /// Position of the (representative) cell in the spec.
+    pub index: usize,
+    /// The cell's display label.
+    pub label: String,
+    /// The cell's content hash.
+    pub hash: String,
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Attempts consumed (first try + retries).
+    pub attempts: u32,
+    /// The last error observed (panic payload, timeout note, or I/O
+    /// error).
+    pub error: String,
+}
+
+/// The persisted record of a degraded run: which cells failed, how, and
+/// under which shard. Written to `<store>/failures/<grid>.json` whenever a
+/// run ends with failures; removed by the next fully clean unsharded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureManifest {
+    /// Grid name.
+    pub grid: String,
+    /// The shard that produced this manifest (`"1/1"` when unsharded).
+    pub shard: String,
+    /// The failures, in spec order.
+    pub failures: Vec<CellFailure>,
+}
+
+impl FailureManifest {
+    /// Whether the manifest records no failures.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
     }
 }
 
@@ -63,10 +150,14 @@ impl ExecStats {
 #[derive(Debug)]
 pub struct GridOutcome {
     /// One slot per spec cell, in spec order; `None` means the cell belongs
-    /// to another shard and was not in the store.
+    /// to another shard and was not in the store, or failed permanently
+    /// (see [`Self::failures`]).
     pub reports: Vec<Option<SimReport>>,
     /// Cache/shard accounting.
     pub stats: ExecStats,
+    /// Cells that failed permanently in this run (simulation failures
+    /// leave their report slots empty; store-write failures do not).
+    pub failures: Vec<CellFailure>,
     /// Wall-clock of the whole call in seconds.
     pub wall_seconds: f64,
 }
@@ -76,6 +167,11 @@ impl GridOutcome {
     pub fn is_complete(&self) -> bool {
         self.reports.iter().all(Option::is_some)
     }
+
+    /// Whether this run should exit with [`DEGRADED_EXIT`].
+    pub fn is_degraded(&self) -> bool {
+        !self.failures.is_empty()
+    }
 }
 
 /// Simulates one cell (trace regeneration + full system run).
@@ -84,13 +180,118 @@ pub fn simulate_cell(cell: &CellSpec) -> SimReport {
     System::build(&cell.config).run(traces)
 }
 
+/// Derives watchdog deadlines from observed per-cell wall-clocks: once
+/// three samples exist, a cell gets `max(30 s, 20× mean)`. Seeded from the
+/// store's recorded wall sidecars so a resumed run is armed immediately.
+struct DeadlineEstimator {
+    explicit: Option<Duration>,
+    /// `(samples, total seconds)`.
+    state: Mutex<(u32, f64)>,
+}
+
+const DEADLINE_FLOOR: Duration = Duration::from_secs(30);
+const DEADLINE_FACTOR: f64 = 20.0;
+const DEADLINE_MIN_SAMPLES: u32 = 3;
+
+impl DeadlineEstimator {
+    fn new(explicit: Option<Duration>) -> Self {
+        Self {
+            explicit,
+            state: Mutex::new((0, 0.0)),
+        }
+    }
+
+    fn record(&self, seconds: f64) {
+        let mut state = self.state.lock().expect("estimator lock");
+        state.0 += 1;
+        state.1 += seconds;
+    }
+
+    fn deadline(&self) -> Option<Duration> {
+        if let Some(t) = self.explicit {
+            return Some(t);
+        }
+        let state = self.state.lock().expect("estimator lock");
+        if state.0 < DEADLINE_MIN_SAMPLES {
+            return None;
+        }
+        let mean = state.1 / f64::from(state.0);
+        Some(DEADLINE_FLOOR.max(Duration::from_secs_f64(mean * DEADLINE_FACTOR)))
+    }
+}
+
+/// Renders a panic payload for the failure record.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one attempt of one cell in a dedicated watchdog-guarded thread.
+///
+/// The simulation runs behind `catch_unwind` in a freshly spawned thread
+/// while this (worker) thread waits on a channel with the deadline. A
+/// panic comes back as [`FailureKind::Panic`]; a deadline overrun as
+/// [`FailureKind::Timeout`] — the stuck thread is abandoned (it holds only
+/// cloned data and its late result is dropped with the channel).
+fn run_cell_guarded(
+    cell: CellSpec,
+    hash: String,
+    attempt: u32,
+    faults: Option<FaultInjector>,
+    deadline: Option<Duration>,
+) -> Result<SimReport, (FailureKind, String)> {
+    let (tx, rx) = mpsc::sync_channel::<Result<SimReport, String>>(1);
+    let spawned = std::thread::Builder::new()
+        .name(format!("cell-{}", &hash[..8.min(hash.len())]))
+        .spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(injector) = &faults {
+                    match injector.exec_fault(&hash, attempt) {
+                        Some(ExecFault::Panic) => {
+                            panic!("injected fault: panic (cell {hash}, attempt {attempt})")
+                        }
+                        Some(ExecFault::Stall(pause)) => std::thread::sleep(pause),
+                        None => {}
+                    }
+                }
+                simulate_cell(&cell)
+            }));
+            let _ = tx.send(outcome.map_err(panic_message));
+        });
+    if let Err(e) = spawned {
+        return Err((FailureKind::Panic, format!("spawning cell thread: {e}")));
+    }
+    let received = match deadline {
+        Some(limit) => rx.recv_timeout(limit).map_err(|_| {
+            (
+                FailureKind::Timeout,
+                format!("watchdog deadline {limit:.1?} exceeded"),
+            )
+        })?,
+        None => rx
+            .recv()
+            .map_err(|_| (FailureKind::Panic, "cell thread died silently".to_string()))?,
+    };
+    received.map_err(|msg| (FailureKind::Panic, msg))
+}
+
 /// Executes a grid: serves cached cells from `store`, simulates the misses
-/// this shard owns (in parallel), and persists every fresh result.
-/// `store: None` disables caching entirely — every owned cell re-simulates
-/// and nothing touches the filesystem.
+/// this shard owns (in parallel, each attempt fault-isolated), and
+/// persists every fresh result. `store: None` disables caching entirely —
+/// every owned cell re-simulates and nothing touches the filesystem.
 ///
 /// Identical cells (same content hash) appearing at several spec positions
 /// are simulated once and fanned out to all positions.
+///
+/// A failing cell never aborts the run: attempts are retried under
+/// `opts.retry`, and cells that exhaust their budget are recorded in
+/// [`GridOutcome::failures`] (and, when a store is present, persisted as a
+/// [`FailureManifest`]) while every other cell completes normally.
 pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -> GridOutcome {
     let started = Instant::now();
     let hashes = spec.hashes();
@@ -99,6 +300,7 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
         total: spec.cells.len(),
         ..ExecStats::default()
     };
+    let estimator = DeadlineEstimator::new(opts.cell_timeout);
 
     // Cache pass. Deduplicate lookups so a hash shared by many cells is
     // read once.
@@ -111,6 +313,11 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
         match store.and_then(|s| s.get(hash)) {
             Some(report) => {
                 stats.cached += indices.len();
+                if let Some(s) = store {
+                    if let Some(wall) = s.recorded_wall(hash) {
+                        estimator.record(wall);
+                    }
+                }
                 for &i in indices {
                     reports[i] = Some(report.clone());
                 }
@@ -128,48 +335,159 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
         stats.skipped += by_hash[hashes[*i].as_str()].len();
     }
 
-    // Simulate the owned misses.
+    // Simulate the owned misses, each cell isolated and retried.
     let progress = Progress::new(&spec.name, owned.len(), opts.progress);
     let progress_ref = &progress;
     let cells_ref = &spec.cells;
-    let results: Vec<(usize, SimReport)> = run_parallel(
-        owned.iter().map(|&(_, i)| i).collect(),
-        opts.threads,
-        move |i| {
-            let cell = &cells_ref[i];
-            let report = simulate_cell(cell);
-            progress_ref.cell_done(&cell.label);
-            (i, report)
-        },
-    );
-    for (i, report) in results {
-        let hash = hashes[i].as_str();
-        if let Some(store) = store {
-            if let Err(e) = store.put(hash, &spec.cells[i], &report) {
-                eprintln!(
-                    "chronus-grid: failed to persist cell {hash} to {}: {e}",
-                    store.dir().display()
-                );
+    let hashes_ref = &hashes;
+    let estimator_ref = &estimator;
+    let owned_indices: Vec<usize> = owned.iter().map(|&(_, i)| i).collect();
+    let worker_results = try_run_parallel(owned_indices.clone(), opts.threads, move |i| {
+        let cell = &cells_ref[i];
+        let hash = hashes_ref[i].as_str();
+        let token = mix64(hash.as_bytes());
+        let mut attempt: u32 = 0;
+        loop {
+            let attempt_started = Instant::now();
+            let outcome = run_cell_guarded(
+                cell.clone(),
+                hash.to_string(),
+                attempt,
+                opts.faults.clone(),
+                estimator_ref.deadline(),
+            );
+            match outcome {
+                Ok(report) => {
+                    let wall = attempt_started.elapsed().as_secs_f64();
+                    estimator_ref.record(wall);
+                    progress_ref.cell_done(&cell.label);
+                    return Ok((report, wall));
+                }
+                Err((kind, error)) => {
+                    progress_ref.cell_failed(&cell.label, attempt, &error);
+                    if attempt >= opts.retry.max_retries {
+                        return Err(CellFailure {
+                            index: i,
+                            label: cell.label.clone(),
+                            hash: hash.to_string(),
+                            kind,
+                            attempts: attempt + 1,
+                            error,
+                        });
+                    }
+                    opts.retry.sleep_before_retry(attempt, token);
+                    attempt += 1;
+                }
             }
         }
+    });
+
+    // Write-back and fan-out. Worker-level panics (outside the per-cell
+    // guard) are demoted to cell failures too: one bad worker must never
+    // take the grid down.
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for (&i, result) in owned_indices.iter().zip(worker_results) {
+        let hash = hashes[i].as_str();
         let indices = &by_hash[hash];
-        stats.simulated += indices.len();
-        for &j in indices {
-            reports[j] = Some(report.clone());
+        let flattened = match result {
+            Ok(Ok((report, wall))) => Ok((report, wall)),
+            Ok(Err(failure)) => Err(failure),
+            Err(panic_msg) => Err(CellFailure {
+                index: i,
+                label: spec.cells[i].label.clone(),
+                hash: hash.to_string(),
+                kind: FailureKind::Panic,
+                attempts: 1,
+                error: format!("worker thread panicked: {panic_msg}"),
+            }),
+        };
+        match flattened {
+            Ok((report, wall)) => {
+                if let Some(store) = store {
+                    match put_with_retry(store, hash, &spec.cells[i], &report, &opts.retry) {
+                        Ok(()) => store.record_wall(hash, wall),
+                        Err(e) => {
+                            eprintln!(
+                                "chronus-grid: failed to persist cell {hash} to {}: {e}",
+                                store.dir().display()
+                            );
+                            failures.push(CellFailure {
+                                index: i,
+                                label: spec.cells[i].label.clone(),
+                                hash: hash.to_string(),
+                                kind: FailureKind::StoreWrite,
+                                attempts: opts.retry.attempts(),
+                                error: e.to_string(),
+                            });
+                        }
+                    }
+                }
+                stats.simulated += indices.len();
+                for &j in indices {
+                    reports[j] = Some(report.clone());
+                }
+            }
+            Err(failure) => {
+                stats.failed += indices.len();
+                failures.push(failure);
+            }
+        }
+    }
+    failures.sort_by_key(|f| f.index);
+
+    // Persist (or heal) the failure manifest so `chronus-sweep status` and
+    // later runs see what degraded.
+    if let Some(store) = store {
+        if !failures.is_empty() {
+            let manifest = FailureManifest {
+                grid: spec.name.clone(),
+                shard: opts.shard.to_string(),
+                failures: failures.clone(),
+            };
+            if let Err(e) = store.save_manifest(&manifest) {
+                eprintln!("chronus-grid: failed to write failure manifest: {e}");
+            }
+        } else if opts.shard.is_full() && reports.iter().all(Option::is_some) {
+            store.clear_manifest(&spec.name);
         }
     }
 
     GridOutcome {
         reports,
         stats,
+        failures,
         wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Persists one cell, retrying transient write failures under `retry`.
+fn put_with_retry(
+    store: &ResultStore,
+    hash: &str,
+    cell: &CellSpec,
+    report: &SimReport,
+    retry: &RetryPolicy,
+) -> std::io::Result<()> {
+    let token = mix64(format!("put|{hash}").as_bytes());
+    let mut attempt: u32 = 0;
+    loop {
+        match store.put(hash, cell, report) {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt >= retry.max_retries => return Err(e),
+            Err(_) => {
+                retry.sleep_before_retry(attempt, token);
+                attempt += 1;
+            }
+        }
     }
 }
 
 /// Collects a complete grid from the store alone, in spec order — the merge
 /// step after sharded runs. The output depends only on the spec and the
 /// store contents, so merging after `--shard 1/2` + `--shard 2/2` is
-/// byte-identical to merging after one unsharded run.
+/// byte-identical to merging after one unsharded run. Entries failing
+/// integrity verification count as missing (they re-simulate on the next
+/// run) rather than erroring the merge.
 ///
 /// # Errors
 ///
@@ -232,6 +550,7 @@ mod tests {
         };
         let out = run_grid(&spec, Some(&store), &opts);
         assert!(out.is_complete());
+        assert!(!out.is_degraded());
         // 3 slots filled but only 2 distinct simulations persisted.
         assert_eq!(out.stats.simulated, 3);
         assert_eq!(store.list().unwrap().len(), 2);
@@ -259,5 +578,61 @@ mod tests {
         assert!(out.is_complete());
         assert_eq!(out.stats.simulated, 3);
         assert!(!dir.exists(), "cache-less run must not create directories");
+    }
+
+    #[test]
+    fn summary_includes_failure_accounting() {
+        let stats = ExecStats {
+            total: 4,
+            cached: 1,
+            simulated: 2,
+            skipped: 0,
+            failed: 1,
+        };
+        assert_eq!(
+            stats.summary(),
+            "cells=4 cached=1 simulated=2 skipped=0 failed=1"
+        );
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_the_store() {
+        let dir = scratch("manifest");
+        let store = ResultStore::open(&dir).unwrap();
+        assert!(store.load_manifest("g").is_none());
+        let manifest = FailureManifest {
+            grid: "g".into(),
+            shard: "1/1".into(),
+            failures: vec![CellFailure {
+                index: 3,
+                label: "cell-3".into(),
+                hash: "f".repeat(32),
+                kind: FailureKind::Timeout,
+                attempts: 4,
+                error: "watchdog deadline 1.0s exceeded".into(),
+            }],
+        };
+        store.save_manifest(&manifest).unwrap();
+        assert_eq!(store.load_manifest("g").unwrap(), manifest);
+        store.clear_manifest("g");
+        assert!(store.load_manifest("g").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_estimator_arms_after_three_samples() {
+        let est = DeadlineEstimator::new(None);
+        assert_eq!(est.deadline(), None);
+        est.record(0.5);
+        est.record(0.5);
+        assert_eq!(est.deadline(), None, "two samples must not arm");
+        est.record(0.5);
+        // 20 × 0.5 s = 10 s is below the 30 s floor.
+        assert_eq!(est.deadline(), Some(Duration::from_secs(30)));
+        est.record(17.5); // mean now 4.75 s → 95 s
+        assert_eq!(est.deadline(), Some(Duration::from_secs_f64(95.0)));
+
+        let explicit = DeadlineEstimator::new(Some(Duration::from_millis(250)));
+        assert_eq!(explicit.deadline(), Some(Duration::from_millis(250)));
     }
 }

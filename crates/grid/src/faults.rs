@@ -1,0 +1,342 @@
+//! Deterministic fault injection at the executor and store boundaries.
+//!
+//! Compiled in, off by default. `CHRONUS_FAULTS` turns it on for the CLI
+//! harnesses:
+//!
+//! ```text
+//! CHRONUS_FAULTS=panic:0.1,io:0.05,stall:0.02,stall_ms:2000,seed:7,attempts:1
+//! ```
+//!
+//! * `panic:P` — a cell simulation panics with probability `P`;
+//! * `io:P` — a store read/write fails with an injected `io::Error`;
+//! * `stall:P` — a cell simulation sleeps `stall_ms` (default 120 000 ms)
+//!   before starting, long enough to trip the watchdog deadline;
+//! * `seed:N` — decorrelates runs; every decision is a pure function of
+//!   `(seed, site, key, attempt)`, so one seed replays identically on every
+//!   machine — which is what lets integration tests and CI assert exact
+//!   recovery behaviour instead of trusting it;
+//! * `attempts:N` — only inject on the first `N` attempts of each site, so
+//!   retries deterministically heal (the retry-success path is testable).
+//!
+//! The library never reads the environment itself: executors and stores
+//! take an explicit [`FaultInjector`] (see `ExecOpts::faults` and
+//! `ResultStore::with_faults`), and the bench layer wires the variable
+//! through. Tests construct plans directly and stay immune to env races.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::hash::unit01;
+
+/// Environment variable the CLI harnesses read fault plans from.
+pub const FAULTS_ENV: &str = "CHRONUS_FAULTS";
+
+/// A parsed fault plan: which faults fire, how often, and with what seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a cell simulation panics.
+    pub panic_p: f64,
+    /// Probability a store operation returns an injected I/O error.
+    pub io_p: f64,
+    /// Probability a cell simulation stalls before starting.
+    pub stall_p: f64,
+    /// How long an injected stall sleeps.
+    pub stall_ms: u64,
+    /// Decision seed; every draw is pure in `(seed, site, key, attempt)`.
+    pub seed: u64,
+    /// Inject only on attempts `< N` of each site (`None` = every attempt).
+    pub max_attempt: Option<u32>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            panic_p: 0.0,
+            io_p: 0.0,
+            stall_p: 0.0,
+            stall_ms: 120_000,
+            seed: 0,
+            max_attempt: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parses the `CHRONUS_FAULTS` syntax (`key:value` pairs, comma
+    /// separated).
+    ///
+    /// # Errors
+    ///
+    /// Names the offending pair on unknown keys, unparsable numbers, and
+    /// probabilities outside `[0, 1]`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for pair in text.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (key, value) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("fault spec '{pair}' is not key:value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("fault '{key}': invalid probability '{v}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault '{key}': probability {p} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            let int = |v: &str| -> Result<u64, String> {
+                v.trim()
+                    .parse()
+                    .map_err(|_| format!("fault '{key}': invalid integer '{v}'"))
+            };
+            match key.trim() {
+                "panic" => plan.panic_p = prob(value)?,
+                "io" => plan.io_p = prob(value)?,
+                "stall" => plan.stall_p = prob(value)?,
+                "stall_ms" => plan.stall_ms = int(value)?,
+                "seed" => plan.seed = int(value)?,
+                "attempts" => plan.max_attempt = Some(int(value)? as u32),
+                other => {
+                    return Err(format!(
+                        "unknown fault key '{other}' (known: panic, io, stall, stall_ms, \
+                         seed, attempts)"
+                    ))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads and parses [`FAULTS_ENV`]; `Ok(None)` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::parse`] diagnostics.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULTS_ENV) {
+            Ok(text) if !text.trim().is_empty() => Self::parse(&text).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether any fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.panic_p > 0.0 || self.io_p > 0.0 || self.stall_p > 0.0
+    }
+
+    /// Builds the injector for this plan.
+    pub fn injector(self) -> FaultInjector {
+        FaultInjector {
+            plan: self,
+            io_attempts: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+}
+
+/// What an injected executor-boundary fault does to a cell attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecFault {
+    /// The simulation panics.
+    Panic,
+    /// The simulation sleeps this long before starting (tripping the
+    /// watchdog when the deadline is shorter).
+    Stall(Duration),
+}
+
+/// Draws deterministic fault decisions for executor and store sites.
+///
+/// Cloning shares the per-key I/O attempt counters, so a store and the
+/// executor driving it observe one consistent schedule.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Store operations carry no explicit attempt number, so retries are
+    /// distinguished by counting calls per `(op, key)`.
+    io_attempts: Arc<Mutex<HashMap<String, u32>>>,
+}
+
+impl FaultInjector {
+    /// The plan behind this injector.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn gated(&self, attempt: u32) -> bool {
+        self.plan.max_attempt.is_none_or(|n| attempt < n)
+    }
+
+    fn draw(&self, site: &str, key: &str, attempt: u32) -> f64 {
+        unit01(format!("{}|{site}|{key}|{attempt}", self.plan.seed).as_bytes())
+    }
+
+    /// The fault (if any) for attempt `attempt` of simulating cell `key`.
+    /// Panic takes precedence over stall when both fire.
+    pub fn exec_fault(&self, key: &str, attempt: u32) -> Option<ExecFault> {
+        if !self.gated(attempt) {
+            return None;
+        }
+        if self.draw("panic", key, attempt) < self.plan.panic_p {
+            return Some(ExecFault::Panic);
+        }
+        if self.draw("stall", key, attempt) < self.plan.stall_p {
+            return Some(ExecFault::Stall(Duration::from_millis(self.plan.stall_ms)));
+        }
+        None
+    }
+
+    /// The injected error (if any) for the next `op` (`"put"`, `"get"`) on
+    /// entry `key`. Each call advances that site's attempt counter, so a
+    /// retried operation sees a fresh (attempt-gated) draw.
+    pub fn io_fault(&self, op: &str, key: &str) -> Option<io::Error> {
+        let attempt = {
+            let mut counts = self.io_attempts.lock().expect("io counter lock");
+            let slot = counts.entry(format!("{op}|{key}")).or_insert(0);
+            let attempt = *slot;
+            *slot += 1;
+            attempt
+        };
+        if self.gated(attempt) && self.draw("io", &format!("{op}|{key}"), attempt) < self.plan.io_p
+        {
+            return Some(io::Error::other(format!(
+                "injected I/O fault ({op} {key}, attempt {attempt})"
+            )));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_syntax() {
+        let plan =
+            FaultPlan::parse("panic:0.5, io:0.25,stall:0.1,stall_ms:50,seed:9,attempts:2").unwrap();
+        assert_eq!(
+            plan,
+            FaultPlan {
+                panic_p: 0.5,
+                io_p: 0.25,
+                stall_p: 0.1,
+                stall_ms: 50,
+                seed: 9,
+                max_attempt: Some(2),
+            }
+        );
+        assert!(plan.is_active());
+        assert!(!FaultPlan::default().is_active());
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "panic",
+            "panic:1.5",
+            "panic:-0.1",
+            "panic:zap",
+            "warp:0.5",
+            "seed:x",
+            "stall_ms:ten",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seeded() {
+        let a = FaultPlan {
+            panic_p: 0.5,
+            seed: 1,
+            ..FaultPlan::default()
+        }
+        .injector();
+        let b = FaultPlan {
+            panic_p: 0.5,
+            seed: 1,
+            ..FaultPlan::default()
+        }
+        .injector();
+        let c = FaultPlan {
+            panic_p: 0.5,
+            seed: 2,
+            ..FaultPlan::default()
+        }
+        .injector();
+        let keys: Vec<String> = (0..64).map(|i| format!("cell{i}")).collect();
+        let fire = |inj: &FaultInjector| -> Vec<bool> {
+            keys.iter()
+                .map(|k| inj.exec_fault(k, 0).is_some())
+                .collect()
+        };
+        assert_eq!(fire(&a), fire(&b), "same seed must replay identically");
+        assert_ne!(fire(&a), fire(&c), "seeds must decorrelate");
+        // p = 0.5 over 64 keys: both outcomes must appear.
+        assert!(fire(&a).iter().any(|&f| f));
+        assert!(fire(&a).iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn certainties_behave() {
+        let always = FaultPlan {
+            panic_p: 1.0,
+            ..FaultPlan::default()
+        }
+        .injector();
+        let never = FaultPlan::default().injector();
+        for attempt in 0..4 {
+            assert_eq!(always.exec_fault("k", attempt), Some(ExecFault::Panic));
+            assert_eq!(never.exec_fault("k", attempt), None);
+        }
+    }
+
+    #[test]
+    fn attempt_gating_heals_retries() {
+        let inj = FaultPlan {
+            panic_p: 1.0,
+            stall_p: 1.0,
+            max_attempt: Some(1),
+            ..FaultPlan::default()
+        }
+        .injector();
+        assert_eq!(inj.exec_fault("k", 0), Some(ExecFault::Panic));
+        assert_eq!(inj.exec_fault("k", 1), None, "attempt 1 must be clean");
+    }
+
+    #[test]
+    fn stall_carries_the_configured_duration() {
+        let inj = FaultPlan {
+            stall_p: 1.0,
+            stall_ms: 321,
+            ..FaultPlan::default()
+        }
+        .injector();
+        assert_eq!(
+            inj.exec_fault("k", 0),
+            Some(ExecFault::Stall(Duration::from_millis(321)))
+        );
+    }
+
+    #[test]
+    fn io_faults_count_attempts_per_site() {
+        let inj = FaultPlan {
+            io_p: 1.0,
+            max_attempt: Some(1),
+            ..FaultPlan::default()
+        }
+        .injector();
+        assert!(inj.io_fault("put", "h1").is_some(), "first call injects");
+        assert!(inj.io_fault("put", "h1").is_none(), "retry is gated clean");
+        assert!(inj.io_fault("put", "h2").is_some(), "fresh key starts over");
+        assert!(inj.io_fault("get", "h1").is_some(), "ops count separately");
+    }
+}

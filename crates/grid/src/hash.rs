@@ -30,6 +30,25 @@ pub fn digest128(bytes: &[u8]) -> String {
     format!("{a:016x}{b:016x}")
 }
 
+/// Stable 64-bit FNV-1a of `bytes` (lane A).
+///
+/// The deterministic building block behind retry jitter and fault-injection
+/// decisions: unlike `std::hash::DefaultHasher`, the value is guaranteed
+/// identical across Rust versions, platforms and processes.
+pub fn mix64(bytes: &[u8]) -> u64 {
+    fnv1a(bytes, OFFSET_A)
+}
+
+/// Maps `bytes` deterministically onto `[0, 1)`.
+///
+/// Used wherever a reproducible pseudo-random draw is needed (fault
+/// injection rates, backoff jitter): the same input always yields the same
+/// point of the unit interval, on every machine.
+pub fn unit01(bytes: &[u8]) -> f64 {
+    // 53 mantissa bits keep the quotient exact in f64.
+    (mix64(bytes) >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// The content-addressed store key of one cell.
 pub fn cell_hash(cell: &CellSpec) -> String {
     let key = CellKey::of(cell);
@@ -73,5 +92,16 @@ mod tests {
     #[test]
     fn config_changes_change_the_key() {
         assert_ne!(cell_hash(&cell(64)), cell_hash(&cell(32)));
+    }
+
+    #[test]
+    fn unit01_is_deterministic_and_in_range() {
+        for input in [b"a".as_slice(), b"b", b"chronus", b""] {
+            let u = unit01(input);
+            assert!((0.0..1.0).contains(&u), "{u} out of range");
+            assert_eq!(u, unit01(input));
+        }
+        assert_ne!(unit01(b"a"), unit01(b"b"));
+        assert_eq!(mix64(b"seed"), mix64(b"seed"));
     }
 }

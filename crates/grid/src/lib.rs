@@ -41,16 +41,26 @@
 
 pub mod cell;
 pub mod exec;
+pub mod faults;
 pub mod hash;
 pub mod progress;
+pub mod retry;
 pub mod shard;
 pub mod spec;
 pub mod store;
 
 pub use cell::{AppTrace, AttackSpec, CellKey, CellSpec, WorkloadSpec, SIM_VERSION};
-pub use exec::{merge, run_grid, simulate_cell, ExecOpts, ExecStats, GridOutcome};
+pub use exec::{
+    merge, run_grid, simulate_cell, CellFailure, ExecOpts, ExecStats, FailureKind, FailureManifest,
+    GridOutcome, DEGRADED_EXIT,
+};
+pub use faults::{ExecFault, FaultInjector, FaultPlan, FAULTS_ENV};
 pub use hash::cell_hash;
 pub use progress::Progress;
+pub use retry::RetryPolicy;
 pub use shard::Shard;
 pub use spec::GridSpec;
-pub use store::{CellRecord, ResultStore, DEFAULT_GRID_DIR, GRID_DIR_ENV};
+pub use store::{
+    CellRecord, EntryIssue, EntryState, FsckReport, ResultStore, DEFAULT_GRID_DIR, GRID_DIR_ENV,
+    STORE_FORMAT_VERSION,
+};

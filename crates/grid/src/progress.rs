@@ -53,6 +53,16 @@ impl Progress {
         );
     }
 
+    /// Reports a failed cell attempt. Failures always print — even with
+    /// progress disabled, a degraded run must leave a trace on stderr.
+    pub fn cell_failed(&self, label: &str, attempt: u32, error: &str) {
+        eprintln!(
+            "[{}] cell '{label}' attempt {} failed: {error}",
+            self.tag,
+            attempt + 1
+        );
+    }
+
     /// Completions so far.
     pub fn completed(&self) -> usize {
         self.done.load(Ordering::Relaxed)

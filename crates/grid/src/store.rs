@@ -1,24 +1,65 @@
 //! The content-addressed on-disk result store.
 //!
-//! One JSON file per completed cell, named `<hash>.json`, holding the full
-//! [`CellKey`] (for auditability and `gc` debugging) plus the `SimReport`.
+//! One file per completed cell, named `<hash>.json`, holding the full
+//! [`CellKey`] (for auditability and `gc` debugging) plus the `SimReport`,
+//! followed by a one-line integrity footer:
+//!
+//! ```text
+//! { …pretty JSON CellRecord… }
+//! #chronus-cell v2 len=<payload bytes> fnv=<128-bit FNV digest>
+//! ```
+//!
+//! Every read re-verifies the footer (length catches truncation, the
+//! digest catches bit rot and torn writes, the version token catches
+//! format drift), so a damaged entry can never silently feed a figure —
+//! it behaves as a cache miss and is re-simulated. The footer is a pure
+//! function of the payload, which preserves the byte-identity invariant:
+//! two stores that simulated the same cells hold identical files.
+//!
 //! Writes go through a temp file + rename so concurrent sharded processes
-//! sharing one directory never observe torn entries.
+//! sharing one directory never observe torn entries; temp files orphaned
+//! by killed processes are reaped on open (when stale) and by
+//! [`ResultStore::fsck`] (unconditionally). `fsck` moves entries that fail
+//! verification into `quarantine/`, which re-enqueues them: the next run
+//! misses on the quarantined hash and re-simulates the cell.
+//!
+//! Two kinds of non-authoritative sidecar live next to the entries:
+//! `<hash>.wall` records the wall-clock seconds the cell cost (feeding the
+//! executor's adaptive watchdog deadline) and `failures/<grid>.json` holds
+//! the [`FailureManifest`](crate::exec::FailureManifest) of the last
+//! degraded run. Neither participates in byte-identity or cache hits.
 
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use chronus_sim::SimReport;
 use serde::{Deserialize, Serialize};
 
-use crate::cell::{CellKey, CellSpec};
+use crate::cell::{CellKey, CellSpec, SIM_VERSION};
+use crate::exec::FailureManifest;
+use crate::faults::FaultInjector;
+use crate::hash::digest128;
 
 /// Environment variable overriding the default store directory.
 pub const GRID_DIR_ENV: &str = "CHRONUS_GRID_DIR";
 
 /// Default store directory under the working directory.
 pub const DEFAULT_GRID_DIR: &str = "grid-cache";
+
+/// On-disk entry format version, stamped into (and checked against) every
+/// footer. Bump when the entry layout changes; `fsck` then quarantines
+/// entries written by other versions.
+pub const STORE_FORMAT_VERSION: u32 = 2;
+
+/// First token of the integrity footer line.
+const FOOTER_TAG: &str = "#chronus-cell";
+
+/// Temp files untouched for this long are considered orphaned by a dead
+/// process and reaped when the store opens. Live writers rename within
+/// milliseconds, so minutes of margin is conservative.
+const STALE_TMP_AGE: Duration = Duration::from_secs(15 * 60);
 
 /// One stored entry: identity plus result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,14 +70,124 @@ pub struct CellRecord {
     pub report: SimReport,
 }
 
+/// Why an on-disk entry failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryIssue {
+    /// The file could not be read (permissions, I/O error, bad UTF-8).
+    Unreadable(String),
+    /// No integrity footer — a legacy (pre-checksum) or torn entry.
+    MissingFooter,
+    /// Footer written by a different store format version.
+    FormatVersion {
+        /// The version token found in the footer.
+        found: String,
+    },
+    /// Payload length disagrees with the footer (truncated or padded).
+    Truncated {
+        /// Bytes the footer promises.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// Payload bytes do not hash to the footer digest.
+    ChecksumMismatch,
+    /// The payload is not a parseable [`CellRecord`].
+    BadJson(String),
+    /// The record was produced by a different simulator version.
+    SimVersion {
+        /// The `sim_version` recorded in the entry.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for EntryIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EntryIssue::Unreadable(e) => write!(f, "unreadable ({e})"),
+            EntryIssue::MissingFooter => write!(f, "missing integrity footer (legacy or torn)"),
+            EntryIssue::FormatVersion { found } => {
+                write!(f, "store format {found}, expected v{STORE_FORMAT_VERSION}")
+            }
+            EntryIssue::Truncated { expected, actual } => {
+                write!(f, "truncated ({actual} of {expected} payload bytes)")
+            }
+            EntryIssue::ChecksumMismatch => write!(f, "checksum mismatch"),
+            EntryIssue::BadJson(e) => write!(f, "unparseable record ({e})"),
+            EntryIssue::SimVersion { found } => {
+                write!(f, "simulator version {found}, expected {SIM_VERSION}")
+            }
+        }
+    }
+}
+
+/// The verified state of one store entry.
+#[derive(Debug)]
+pub enum EntryState {
+    /// No file for this hash.
+    Missing,
+    /// The entry verified end to end.
+    Ok(Box<CellRecord>),
+    /// The file exists but failed verification.
+    Bad(EntryIssue),
+}
+
+impl EntryState {
+    /// Whether the entry verified.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EntryState::Ok(_))
+    }
+
+    /// Whether a file exists but failed verification.
+    pub fn is_bad(&self) -> bool {
+        matches!(self, EntryState::Bad(_))
+    }
+}
+
+/// What one [`ResultStore::fsck`] pass found and did.
+#[derive(Debug, Default)]
+pub struct FsckReport {
+    /// Entries examined.
+    pub scanned: usize,
+    /// Entries that verified.
+    pub ok: usize,
+    /// `(file name, reason)` of every entry moved to `quarantine/`.
+    pub quarantined: Vec<(String, String)>,
+    /// Orphaned temp files removed.
+    pub reaped_tmp: usize,
+    /// Wall-clock sidecars whose entry no longer exists, removed.
+    pub reaped_sidecars: usize,
+}
+
+impl FsckReport {
+    /// Whether every entry verified (reaping orphans still counts as
+    /// clean).
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// One machine-greppable line.
+    pub fn summary(&self) -> String {
+        format!(
+            "scanned={} ok={} quarantined={} reaped_tmp={} reaped_sidecars={}",
+            self.scanned,
+            self.ok,
+            self.quarantined.len(),
+            self.reaped_tmp,
+            self.reaped_sidecars
+        )
+    }
+}
+
 /// A directory of completed cells keyed by content hash.
 #[derive(Debug, Clone)]
 pub struct ResultStore {
     dir: PathBuf,
+    faults: Option<FaultInjector>,
 }
 
 impl ResultStore {
-    /// Opens (creating if needed) a store at `dir`.
+    /// Opens (creating if needed) a store at `dir`, reaping temp files
+    /// orphaned by dead processes (older than 15 minutes; count logged).
     ///
     /// # Errors
     ///
@@ -44,7 +195,15 @@ impl ResultStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        let store = Self { dir, faults: None };
+        match store.reap_tmp_older_than(STALE_TMP_AGE) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => eprintln!(
+                "chronus-grid: reaped {n} stale temp file(s) from {} (crash leftovers)",
+                store.dir.display()
+            ),
+        }
+        Ok(store)
     }
 
     /// Opens the default store: `$CHRONUS_GRID_DIR` or `./grid-cache`.
@@ -63,6 +222,14 @@ impl ResultStore {
             .unwrap_or_else(|| PathBuf::from(DEFAULT_GRID_DIR))
     }
 
+    /// Attaches a fault injector to the store's read/write boundary
+    /// (deterministic I/O-error injection; see [`crate::faults`]).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultInjector>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -73,20 +240,59 @@ impl ResultStore {
         self.dir.join(format!("{hash}.json"))
     }
 
-    /// Whether a completed entry exists for `hash`.
+    /// The wall-clock sidecar path of a hash.
+    fn wall_path(&self, hash: &str) -> PathBuf {
+        self.dir.join(format!("{hash}.wall"))
+    }
+
+    /// The quarantine directory (created lazily by [`Self::fsck`]).
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// The failure-manifest path of a grid.
+    pub fn manifest_path(&self, grid: &str) -> PathBuf {
+        self.dir.join("failures").join(format!("{grid}.json"))
+    }
+
+    /// Whether a completed entry exists for `hash` (presence only; reads
+    /// verify integrity separately).
     pub fn contains(&self, hash: &str) -> bool {
         self.path_of(hash).is_file()
     }
 
-    /// Loads the report stored for `hash`; `None` if absent or unreadable
-    /// (a corrupt entry behaves as a miss and is re-simulated).
+    /// Reads and fully verifies the entry for `hash`: footer present,
+    /// format version current, length exact, checksum matching, record
+    /// parseable, simulator version current.
+    pub fn verify(&self, hash: &str) -> EntryState {
+        let text = match std::fs::read_to_string(self.path_of(hash)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return EntryState::Missing,
+            Err(e) => return EntryState::Bad(EntryIssue::Unreadable(e.to_string())),
+        };
+        match verify_entry_text(&text) {
+            Ok(record) => EntryState::Ok(Box::new(record)),
+            Err(issue) => EntryState::Bad(issue),
+        }
+    }
+
+    /// Loads the report stored for `hash`; `None` if absent or failing
+    /// verification (a damaged entry behaves as a miss and is
+    /// re-simulated).
     pub fn get(&self, hash: &str) -> Option<SimReport> {
-        let text = std::fs::read_to_string(self.path_of(hash)).ok()?;
-        match serde_json::from_str::<CellRecord>(&text) {
-            Ok(rec) => Some(rec.report),
-            Err(e) => {
+        if let Some(faults) = &self.faults {
+            if let Some(e) = faults.io_fault("get", hash) {
+                eprintln!("chronus-grid: read of cell {hash} failed ({e}); treating as miss");
+                return None;
+            }
+        }
+        match self.verify(hash) {
+            EntryState::Ok(record) => Some(record.report),
+            EntryState::Missing => None,
+            EntryState::Bad(issue) => {
                 eprintln!(
-                    "chronus-grid: ignoring corrupt cache entry {} ({e})",
+                    "chronus-grid: ignoring cache entry {} ({issue}); run `chronus-sweep fsck` \
+                     to quarantine it",
                     self.path_of(hash).display()
                 );
                 None
@@ -94,20 +300,40 @@ impl ResultStore {
         }
     }
 
-    /// Persists a completed cell atomically (write temp file, rename).
+    /// Persists a completed cell atomically (write temp file, rename),
+    /// appending the integrity footer.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures.
+    /// Propagates I/O failures (including injected ones).
     pub fn put(&self, hash: &str, cell: &CellSpec, report: &SimReport) -> io::Result<()> {
+        if let Some(faults) = &self.faults {
+            if let Some(e) = faults.io_fault("put", hash) {
+                return Err(e);
+            }
+        }
         let record = CellRecord {
             key: CellKey::of(cell),
             report: report.clone(),
         };
-        let json = serde_json::to_string_pretty(&record).expect("records always serialize");
+        let payload = serde_json::to_string_pretty(&record).expect("records always serialize");
+        let full = format!("{payload}\n{}\n", footer_line(&payload));
         let tmp = self.dir.join(format!(".{hash}.{}.tmp", std::process::id()));
-        std::fs::write(&tmp, json)?;
+        std::fs::write(&tmp, full)?;
         std::fs::rename(&tmp, self.path_of(hash))
+    }
+
+    /// Records the wall-clock cost of a completed cell (best-effort
+    /// sidecar; never fails the run and never affects byte-identity of the
+    /// entries themselves).
+    pub fn record_wall(&self, hash: &str, seconds: f64) {
+        let _ = std::fs::write(self.wall_path(hash), format!("{seconds:.6}\n"));
+    }
+
+    /// The recorded wall-clock cost of a cell, if any.
+    pub fn recorded_wall(&self, hash: &str) -> Option<f64> {
+        let text = std::fs::read_to_string(self.wall_path(hash)).ok()?;
+        text.trim().parse().ok()
     }
 
     /// Hashes of all completed entries in the store.
@@ -121,7 +347,7 @@ impl ResultStore {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
             if let Some(hash) = name.strip_suffix(".json") {
-                if hash.len() == 32 && hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+                if is_hash(hash) {
                     out.push(hash.to_string());
                 }
             }
@@ -130,8 +356,8 @@ impl ResultStore {
         Ok(out)
     }
 
-    /// Deletes every entry whose hash is not in `keep`; returns how many
-    /// files were removed.
+    /// Deletes every entry (and its wall sidecar) whose hash is not in
+    /// `keep`; returns how many entries were removed.
     ///
     /// # Errors
     ///
@@ -141,17 +367,189 @@ impl ResultStore {
         for hash in self.list()? {
             if !keep.contains(&hash) {
                 std::fs::remove_file(self.path_of(&hash))?;
+                let _ = std::fs::remove_file(self.wall_path(&hash));
                 removed += 1;
             }
         }
         Ok(removed)
     }
+
+    /// Removes temp files older than `age`; returns how many were reaped.
+    /// `Duration::ZERO` reaps unconditionally (what `fsck` uses; only safe
+    /// when no writer is live).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read failures (individual file races are
+    /// ignored).
+    pub fn reap_tmp_older_than(&self, age: Duration) -> io::Result<usize> {
+        let now = std::time::SystemTime::now();
+        let mut reaped = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_name().to_string_lossy().ends_with(".tmp") {
+                continue;
+            }
+            let stale = age.is_zero()
+                || entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| now.duration_since(t).ok())
+                    .is_some_and(|elapsed| elapsed >= age);
+            if stale && std::fs::remove_file(entry.path()).is_ok() {
+                reaped += 1;
+            }
+        }
+        Ok(reaped)
+    }
+
+    /// Scans the whole store: verifies every entry, moves the ones that
+    /// fail into `quarantine/` (re-enqueueing them — the next run misses
+    /// and re-simulates), reaps all temp files and orphaned wall sidecars.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read and quarantine-move failures.
+    pub fn fsck(&self) -> io::Result<FsckReport> {
+        let mut report = FsckReport {
+            reaped_tmp: self.reap_tmp_older_than(Duration::ZERO)?,
+            ..FsckReport::default()
+        };
+        let mut sidecars: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(hash) = name.strip_suffix(".wall") {
+                if is_hash(hash) {
+                    sidecars.push(hash.to_string());
+                }
+                continue;
+            }
+            let Some(hash) = name.strip_suffix(".json") else {
+                continue;
+            };
+            if !is_hash(hash) {
+                continue;
+            }
+            report.scanned += 1;
+            match self.verify(hash) {
+                EntryState::Ok(_) => report.ok += 1,
+                EntryState::Missing => {}
+                EntryState::Bad(issue) => {
+                    self.quarantine(&name)?;
+                    report.quarantined.push((name, issue.to_string()));
+                }
+            }
+        }
+        for hash in sidecars {
+            if !self.contains(&hash) && std::fs::remove_file(self.wall_path(&hash)).is_ok() {
+                report.reaped_sidecars += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Moves one store file into `quarantine/` (replacing any previous
+    /// quarantined copy of the same name).
+    fn quarantine(&self, name: &str) -> io::Result<()> {
+        let qdir = self.quarantine_dir();
+        std::fs::create_dir_all(&qdir)?;
+        let dest = qdir.join(name);
+        let _ = std::fs::remove_file(&dest);
+        std::fs::rename(self.dir.join(name), dest)
+    }
+
+    /// Persists a grid's failure manifest atomically under `failures/`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save_manifest(&self, manifest: &FailureManifest) -> io::Result<()> {
+        let path = self.manifest_path(&manifest.grid);
+        std::fs::create_dir_all(path.parent().expect("manifest path has a parent"))?;
+        let json = serde_json::to_string_pretty(manifest).expect("manifests always serialize");
+        let tmp = path.with_extension(format!("{}.tmp", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a grid's failure manifest; `None` when absent or unreadable.
+    pub fn load_manifest(&self, grid: &str) -> Option<FailureManifest> {
+        let text = std::fs::read_to_string(self.manifest_path(grid)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Removes a grid's failure manifest (a fully clean run heals it).
+    pub fn clear_manifest(&self, grid: &str) {
+        let _ = std::fs::remove_file(self.manifest_path(grid));
+    }
+}
+
+/// Whether `s` looks like a store hash (32 lowercase hex chars).
+fn is_hash(s: &str) -> bool {
+    s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit())
+}
+
+/// The integrity footer of a payload.
+fn footer_line(payload: &str) -> String {
+    format!(
+        "{FOOTER_TAG} v{STORE_FORMAT_VERSION} len={} fnv={}",
+        payload.len(),
+        digest128(payload.as_bytes())
+    )
+}
+
+/// Splits and checks the footer, then parses the payload.
+fn verify_entry_text(text: &str) -> Result<CellRecord, EntryIssue> {
+    let trimmed = text.strip_suffix('\n').unwrap_or(text);
+    let Some((payload, footer)) = trimmed.rsplit_once('\n') else {
+        return Err(EntryIssue::MissingFooter);
+    };
+    if !footer.starts_with(FOOTER_TAG) {
+        return Err(EntryIssue::MissingFooter);
+    }
+    let mut tokens = footer.split_whitespace().skip(1);
+    let version = tokens.next().unwrap_or("");
+    if version != format!("v{STORE_FORMAT_VERSION}") {
+        return Err(EntryIssue::FormatVersion {
+            found: version.to_string(),
+        });
+    }
+    let field = |tok: Option<&str>, key: &str| -> Option<String> {
+        tok.and_then(|t| t.strip_prefix(key).map(str::to_string))
+    };
+    let len: usize = field(tokens.next(), "len=")
+        .and_then(|v| v.parse().ok())
+        .ok_or(EntryIssue::MissingFooter)?;
+    let fnv = field(tokens.next(), "fnv=").ok_or(EntryIssue::MissingFooter)?;
+    if payload.len() != len {
+        return Err(EntryIssue::Truncated {
+            expected: len,
+            actual: payload.len(),
+        });
+    }
+    if digest128(payload.as_bytes()) != fnv {
+        return Err(EntryIssue::ChecksumMismatch);
+    }
+    let record: CellRecord =
+        serde_json::from_str(payload).map_err(|e| EntryIssue::BadJson(e.to_string()))?;
+    if record.key.sim_version != SIM_VERSION {
+        return Err(EntryIssue::SimVersion {
+            found: record.key.sim_version,
+        });
+    }
+    Ok(record)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cell::{AppTrace, WorkloadSpec};
+    use crate::faults::FaultPlan;
     use crate::hash::cell_hash;
     use chronus_sim::{SimConfig, System};
 
@@ -172,41 +570,202 @@ mod tests {
         CellSpec::new("tiny", w, cfg)
     }
 
-    #[test]
-    fn put_get_roundtrip() {
-        let dir = scratch("roundtrip");
+    fn populated(tag: &str) -> (PathBuf, ResultStore, String, SimReport) {
+        let dir = scratch(tag);
         let store = ResultStore::open(&dir).unwrap();
         let cell = tiny_cell();
         let hash = cell_hash(&cell);
-        assert!(store.get(&hash).is_none());
-
         let report = System::build(&cell.config).run(cell.workload.traces(&cell.config.geometry));
         store.put(&hash, &cell, &report).unwrap();
+        (dir, store, hash, report)
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let (dir, store, hash, report) = populated("roundtrip");
         assert!(store.contains(&hash));
+        assert!(store.verify(&hash).is_ok());
         assert_eq!(store.get(&hash).unwrap(), report);
         assert_eq!(store.list().unwrap(), vec![hash.clone()]);
+        assert!(matches!(
+            store.verify("0".repeat(32).as_str()),
+            EntryState::Missing
+        ));
 
         // Corrupt entries behave as misses.
         std::fs::write(store.path_of(&hash), "{oops").unwrap();
         assert!(store.get(&hash).is_none());
+        assert!(store.verify(&hash).is_bad());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
+    fn truncation_and_tampering_are_detected() {
+        let (dir, store, hash, _) = populated("truncate");
+        let path = store.path_of(&hash);
+        let original = std::fs::read_to_string(&path).unwrap();
+
+        // Tail truncation loses the footer entirely.
+        std::fs::write(&path, &original[..original.len() / 2]).unwrap();
+        assert!(matches!(
+            store.verify(&hash),
+            EntryState::Bad(EntryIssue::MissingFooter | EntryIssue::Truncated { .. })
+        ));
+        assert!(store.get(&hash).is_none());
+
+        // A flipped payload byte fails the checksum even with the footer
+        // intact.
+        let flipped = original.replacen("\"report\"", "\"REPORT\"", 1);
+        assert_ne!(flipped, original, "fixture must actually flip something");
+        std::fs::write(&path, flipped).unwrap();
+        assert!(matches!(
+            store.verify(&hash),
+            EntryState::Bad(EntryIssue::ChecksumMismatch)
+        ));
+
+        // A wrong format version is called out as such.
+        let refooted = format!("{{}}\n{FOOTER_TAG} v99 len=2 fnv=00\n");
+        std::fs::write(&path, refooted).unwrap();
+        assert!(matches!(
+            store.verify(&hash),
+            EntryState::Bad(EntryIssue::FormatVersion { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_footerless_entries_fail_verification() {
+        let (dir, store, hash, _) = populated("legacy");
+        let path = store.path_of(&hash);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Strip the footer: exactly what a pre-v2 store entry looks like.
+        let payload = text
+            .rsplit_once('\n')
+            .unwrap()
+            .0
+            .rsplit_once('\n')
+            .unwrap()
+            .0;
+        std::fs::write(&path, payload).unwrap();
+        assert!(matches!(
+            store.verify(&hash),
+            EntryState::Bad(EntryIssue::MissingFooter)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_are_byte_deterministic() {
+        let (dir_a, store_a, hash, _) = populated("det-a");
+        let (dir_b, store_b, hash_b, _) = populated("det-b");
+        assert_eq!(hash, hash_b);
+        assert_eq!(
+            std::fs::read(store_a.path_of(&hash)).unwrap(),
+            std::fs::read(store_b.path_of(&hash)).unwrap(),
+            "same cell must serialize byte-identically, footer included"
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
     fn gc_keeps_only_requested_hashes() {
-        let dir = scratch("gc");
-        let store = ResultStore::open(&dir).unwrap();
-        let cell = tiny_cell();
-        let hash = cell_hash(&cell);
-        let report = System::build(&cell.config).run(cell.workload.traces(&cell.config.geometry));
-        store.put(&hash, &cell, &report).unwrap();
+        let (dir, store, hash, _) = populated("gc");
+        store.record_wall(&hash, 1.5);
         let bogus = "0".repeat(32);
         std::fs::write(store.path_of(&bogus), "{}").unwrap();
+        store.record_wall(&bogus, 9.0);
 
         let keep: HashSet<String> = [hash.clone()].into_iter().collect();
         assert_eq!(store.gc(&keep).unwrap(), 1);
         assert!(store.contains(&hash));
         assert!(!store.contains(&bogus));
+        assert_eq!(store.recorded_wall(&hash), Some(1.5));
+        assert_eq!(store.recorded_wall(&bogus), None, "gc removes sidecars");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_reaping_is_age_gated() {
+        let dir = scratch("tmp");
+        let store = ResultStore::open(&dir).unwrap();
+        std::fs::write(dir.join(".deadbeef.1234.tmp"), "partial").unwrap();
+        // A fresh temp file survives the stale-only reap…
+        assert_eq!(store.reap_tmp_older_than(STALE_TMP_AGE).unwrap(), 0);
+        assert!(dir.join(".deadbeef.1234.tmp").exists());
+        // …and the unconditional reap removes it.
+        assert_eq!(store.reap_tmp_older_than(Duration::ZERO).unwrap(), 1);
+        assert!(!dir.join(".deadbeef.1234.tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_quarantines_and_reaps() {
+        let (dir, store, hash, _) = populated("fsck");
+        store.record_wall(&hash, 0.5);
+        // A truncated second entry, a temp orphan, and an orphan sidecar.
+        let bad = "b".repeat(32);
+        let good_bytes = std::fs::read_to_string(store.path_of(&hash)).unwrap();
+        std::fs::write(store.path_of(&bad), &good_bytes[..40]).unwrap();
+        std::fs::write(dir.join(".orphan.99.tmp"), "x").unwrap();
+        store.record_wall(&"c".repeat(32), 2.0);
+
+        let report = store.fsck().unwrap();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.ok, 1);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].0, format!("{bad}.json"));
+        assert_eq!(report.reaped_tmp, 1);
+        assert_eq!(report.reaped_sidecars, 1);
+        assert!(!report.is_clean());
+
+        // The bad entry is gone from the store but preserved under
+        // quarantine/; the good one is untouched.
+        assert!(!store.contains(&bad));
+        assert!(store.quarantine_dir().join(format!("{bad}.json")).is_file());
+        assert!(store.verify(&hash).is_ok());
+        assert_eq!(store.recorded_wall(&hash), Some(0.5));
+
+        // A second pass is clean.
+        let again = store.fsck().unwrap();
+        assert!(again.is_clean());
+        assert_eq!(again.ok, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_io_faults_surface_on_put_and_get() {
+        let dir = scratch("faults");
+        let plan = FaultPlan {
+            io_p: 1.0,
+            max_attempt: Some(1),
+            ..FaultPlan::default()
+        };
+        let store = ResultStore::open(&dir)
+            .unwrap()
+            .with_faults(Some(plan.injector()));
+        let cell = tiny_cell();
+        let hash = cell_hash(&cell);
+        let report = System::build(&cell.config).run(cell.workload.traces(&cell.config.geometry));
+
+        // First put fails with the injected error; the retry is gated
+        // clean and succeeds.
+        assert!(store.put(&hash, &cell, &report).is_err());
+        store.put(&hash, &cell, &report).unwrap();
+        // First get is injected into a miss; the retry reads through.
+        assert!(store.get(&hash).is_none());
+        assert_eq!(store.get(&hash).unwrap(), report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wall_sidecars_roundtrip() {
+        let dir = scratch("wall");
+        let store = ResultStore::open(&dir).unwrap();
+        let hash = "a".repeat(32);
+        assert_eq!(store.recorded_wall(&hash), None);
+        store.record_wall(&hash, 12.25);
+        assert_eq!(store.recorded_wall(&hash), Some(12.25));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

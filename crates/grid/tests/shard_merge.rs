@@ -9,7 +9,8 @@ use std::path::PathBuf;
 
 use chronus_core::MechanismKind;
 use chronus_grid::{
-    merge, run_grid, AppTrace, CellSpec, ExecOpts, GridSpec, ResultStore, Shard, WorkloadSpec,
+    merge, run_grid, AppTrace, CellSpec, ExecOpts, FaultPlan, GridSpec, ResultStore, RetryPolicy,
+    Shard, WorkloadSpec,
 };
 use chronus_sim::SimConfig;
 
@@ -46,6 +47,7 @@ fn opts(shard: Shard) -> ExecOpts {
         threads: 2,
         shard,
         progress: false,
+        ..ExecOpts::default()
     }
 }
 
@@ -112,6 +114,60 @@ fn second_run_is_pure_cache_hits() {
     assert_eq!(second.reports, first.reports);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn faulted_sharded_run_merges_byte_identical_to_clean_unsharded() {
+    let spec = sample_grid();
+
+    // Clean unsharded reference.
+    let dir_a = scratch("fault-ref");
+    let store_a = ResultStore::open(&dir_a).unwrap();
+    let clean = run_grid(&spec, Some(&store_a), &opts(Shard::full()));
+    assert!(clean.is_complete() && !clean.is_degraded());
+    let reference = merged_bytes(&spec, &store_a);
+
+    // Sharded run under injected panics and I/O faults that retries heal:
+    // every site fails its first attempt and succeeds on the retry.
+    let dir_b = scratch("fault-sharded");
+    let store_b = ResultStore::open(&dir_b).unwrap();
+    let plan = FaultPlan::parse("panic:1.0,io:1.0,seed:11,attempts:1").unwrap();
+    let faulty = |shard: Shard| ExecOpts {
+        retry: RetryPolicy {
+            base_ms: 1,
+            cap_ms: 4,
+            ..RetryPolicy::default()
+        },
+        faults: Some(plan.clone().injector()),
+        ..opts(shard)
+    };
+    let one = run_grid(
+        &spec,
+        Some(&store_b.clone().with_faults(Some(plan.clone().injector()))),
+        &faulty("1/2".parse().unwrap()),
+    );
+    assert!(!one.is_degraded(), "gated faults must heal via retries");
+    let two = run_grid(
+        &spec,
+        Some(&store_b.clone().with_faults(Some(plan.clone().injector()))),
+        &faulty("2/2".parse().unwrap()),
+    );
+    assert!(!two.is_degraded());
+    assert_eq!(one.stats.simulated + two.stats.simulated, 4);
+
+    // Despite every first attempt failing, the merged output and the raw
+    // store entries are byte-identical to the clean run.
+    assert_eq!(merged_bytes(&spec, &store_b), reference);
+    let hashes = store_a.list().unwrap();
+    assert_eq!(hashes, store_b.list().unwrap());
+    for h in &hashes {
+        let a = std::fs::read(store_a.path_of(h)).unwrap();
+        let b = std::fs::read(store_b.path_of(h)).unwrap();
+        assert_eq!(a, b, "stored entry {h} differs after faulted sharding");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
 }
 
 #[test]

@@ -8,11 +8,40 @@
 //! locking (and no `unsafe`) is needed while input order is still
 //! preserved in the output.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
+/// Renders a panic payload as text for error reporting.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
 /// Applies `f` to every item on `threads` worker threads, preserving input
-/// order in the output.
+/// order in the output. A panicking `f` aborts the whole call — callers
+/// that must survive per-item panics use [`try_run_parallel`].
 pub fn run_parallel<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    try_run_parallel(items, threads, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("parallel worker panicked: {msg}")))
+        .collect()
+}
+
+/// Panic-isolated [`run_parallel`]: each item's `f` runs under
+/// `catch_unwind`, so one panicking item becomes `Err(panic message)` in
+/// its output slot while every other item still completes. Input order is
+/// preserved.
+pub fn try_run_parallel<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<R, String>>
 where
     T: Send,
     R: Send,
@@ -22,9 +51,10 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let guarded = |item: T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(panic_text);
     let threads = threads.max(1).min(n);
     if threads == 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(guarded).collect();
     }
 
     // Deal items round-robin so long-running neighbours (e.g. one slow mix
@@ -34,14 +64,14 @@ where
         chunks[i % threads].push((i, item));
     }
 
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    let f = &f;
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
+    let guarded = &guarded;
     std::thread::scope(|s| {
         for chunk in chunks {
             let tx = tx.clone();
             s.spawn(move || {
                 for (i, item) in chunk {
-                    if tx.send((i, f(item))).is_err() {
+                    if tx.send((i, guarded(item))).is_err() {
                         // Receiver gone: the main thread is unwinding.
                         return;
                     }
@@ -49,7 +79,7 @@ where
             });
         }
         drop(tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut out: Vec<Option<Result<R, String>>> = (0..n).map(|_| None).collect();
         for (i, r) in rx {
             debug_assert!(out[i].is_none(), "result {i} delivered twice");
             out[i] = Some(r);
@@ -92,5 +122,47 @@ mod tests {
     fn uneven_items_balance_across_workers() {
         let out = run_parallel((0..37).collect(), 5, |x: u64| x * x);
         assert_eq!(out, (0..37).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_variant_isolates_panics_per_item() {
+        let out = try_run_parallel((0..10).collect(), 4, |x: i32| {
+            if x % 3 == 0 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 10);
+        for (i, slot) in out.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(slot.as_ref().unwrap_err(), &format!("boom at {i}"));
+            } else {
+                assert_eq!(slot.as_ref().unwrap(), &(i as i32 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn try_variant_isolates_panics_single_threaded() {
+        let out = try_run_parallel(vec![1, 2, 3], 1, |x: i32| {
+            if x == 2 {
+                panic!("two");
+            }
+            x
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[1], Err("two".to_string()));
+        assert_eq!(out[2], Ok(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked: unlucky")]
+    fn plain_variant_propagates_panics() {
+        let _ = run_parallel(vec![0, 7], 2, |x: i32| {
+            if x == 7 {
+                panic!("unlucky");
+            }
+            x
+        });
     }
 }
