@@ -34,6 +34,9 @@ pub struct HarnessOpts {
     /// Hard per-cell watchdog deadline (`--cell-timeout SECS`); `None`
     /// derives one adaptively from observed cell wall-clocks.
     pub cell_timeout: Option<std::time::Duration>,
+    /// Work-claim lease time-to-live override (`--lease-ttl SECS`);
+    /// `None` derives one from the adaptive cell-deadline estimator.
+    pub lease_ttl: Option<std::time::Duration>,
 }
 
 impl Default for HarnessOpts {
@@ -53,6 +56,7 @@ impl Default for HarnessOpts {
             quiet: false,
             retries: None,
             cell_timeout: None,
+            lease_ttl: None,
         }
     }
 }
@@ -97,7 +101,8 @@ impl HarnessOpts {
              flags: --instructions N --mixes N --threads N --seed N \
              --nrh a,b,c --out FILE\n\
              grid:  --shard i/N --grid-dir DIR --no-cache --quiet\n\
-             fault: --retries N --cell-timeout SECS (env: CHRONUS_FAULTS)"
+             fault: --retries N --cell-timeout SECS --lease-ttl SECS \
+             (env: CHRONUS_FAULTS)"
         )
     }
 
@@ -146,6 +151,15 @@ impl HarnessOpts {
                         )));
                     }
                     o.cell_timeout = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                "--lease-ttl" => {
+                    let secs: f64 = parse_flag("--lease-ttl", &value("--lease-ttl")?)?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err(ParseOutcome::Invalid(format!(
+                            "--lease-ttl: '{secs}' is not a positive number of seconds"
+                        )));
+                    }
+                    o.lease_ttl = Some(std::time::Duration::from_secs_f64(secs));
                 }
                 "--no-cache" => o.no_cache = true,
                 "--quiet" => o.quiet = true,
@@ -281,14 +295,28 @@ mod tests {
 
     #[test]
     fn parses_fault_tolerance_flags() {
-        let o = parse(&["--retries", "0", "--cell-timeout", "2.5"]).unwrap();
+        let o = parse(&[
+            "--retries",
+            "0",
+            "--cell-timeout",
+            "2.5",
+            "--lease-ttl",
+            "9",
+        ])
+        .unwrap();
         assert_eq!(o.retries, Some(0));
         assert_eq!(
             o.cell_timeout,
             Some(std::time::Duration::from_millis(2_500))
         );
+        assert_eq!(o.lease_ttl, Some(std::time::Duration::from_secs(9)));
         assert_eq!(HarnessOpts::default().retries, None);
         assert_eq!(HarnessOpts::default().cell_timeout, None);
+        assert_eq!(HarnessOpts::default().lease_ttl, None);
+        assert!(matches!(
+            parse(&["--lease-ttl", "0"]),
+            Err(ParseOutcome::Invalid(msg)) if msg.contains("--lease-ttl")
+        ));
         assert!(matches!(
             parse(&["--cell-timeout", "-3"]),
             Err(ParseOutcome::Invalid(msg)) if msg.contains("--cell-timeout")

@@ -9,11 +9,23 @@
 //! still completes every healthy cell, persists everything it computed,
 //! and reports the casualties — the contract multi-hour, multi-machine
 //! sweeps depend on.
+//!
+//! Store-backed runs are additionally *coordinated* (see [`CoordOpts`]):
+//! each miss is claimed through a heartbeat-refreshed lease before
+//! simulating, so N concurrent processes sharing one store partition the
+//! grid dynamically with zero duplicate simulation — a cell leased by a
+//! live holder is waited on, not recomputed. Every claim, completion and
+//! failure is appended to the store's operations journal, and the failure
+//! manifest is merged under the advisory store lock instead of
+//! last-writer-wins. Coordination failures (lease I/O errors) degrade to
+//! uncoordinated execution: store entries are byte-deterministic and
+//! written atomically, so the worst case is duplicate compute, never
+//! corruption.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use chronus_sim::{try_run_parallel, SimReport, System};
@@ -22,17 +34,53 @@ use serde::{Deserialize, Serialize};
 use crate::cell::CellSpec;
 use crate::faults::{ExecFault, FaultInjector};
 use crate::hash::mix64;
+use crate::journal::{EventKind, Journal};
+use crate::lease::{self, ClaimOutcome, LeaseManager};
 use crate::progress::Progress;
 use crate::retry::RetryPolicy;
 use crate::shard::Shard;
 use crate::spec::GridSpec;
-use crate::store::ResultStore;
+use crate::store::{ManifestState, ResultStore};
 
 /// Process exit code of a run that completed in degraded mode (some cells
 /// failed permanently and are listed in the failure manifest). Distinct
 /// from `2` (usage errors) so scripts can tell "rerun me" from "fix the
 /// invocation".
 pub const DEGRADED_EXIT: i32 = 3;
+
+/// Smallest lease TTL the executor will stamp. Short grids heartbeat well
+/// under this; the watchdog deadline raises it once armed.
+const LEASE_TTL_FLOOR: Duration = Duration::from_secs(15);
+
+/// How long a waiter sleeps between polls of a cell leased elsewhere.
+const LEASE_WAIT_POLL: Duration = Duration::from_millis(150);
+
+/// Inter-process coordination options for store-backed runs. Defaults are
+/// what every CLI entry point uses; tests shrink `lease_ttl` to exercise
+/// stale-lease reclamation quickly.
+#[derive(Debug, Clone)]
+pub struct CoordOpts {
+    /// Lease claims + operations journal (on by default when a store is
+    /// present; irrelevant without one).
+    pub enabled: bool,
+    /// Override the lease time-to-live. `None` derives it from the
+    /// watchdog deadline estimator (20× observed mean wall-clock), floored
+    /// at 15 s — a lease always outlives its heartbeat interval by 4×.
+    pub lease_ttl: Option<Duration>,
+    /// Override the holder identity recorded in leases and the journal.
+    /// `None` mints a process-unique `host-pid-instance` id.
+    pub holder: Option<String>,
+}
+
+impl Default for CoordOpts {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            lease_ttl: None,
+            holder: None,
+        }
+    }
+}
 
 /// Execution options.
 #[derive(Debug, Clone)]
@@ -83,15 +131,18 @@ pub struct ExecStats {
     /// Cells that failed permanently (retries exhausted) and have no
     /// report.
     pub failed: usize,
+    /// Cells resolved by waiting on another process's lease (its result
+    /// was read back instead of recomputed).
+    pub waited: usize,
 }
 
 impl ExecStats {
-    /// `cells=N cached=C simulated=S skipped=K failed=F` — the
+    /// `cells=N cached=C simulated=S skipped=K failed=F waited=W` — the
     /// machine-readable form the CI smoke jobs grep.
     pub fn summary(&self) -> String {
         format!(
-            "cells={} cached={} simulated={} skipped={} failed={}",
-            self.total, self.cached, self.simulated, self.skipped, self.failed
+            "cells={} cached={} simulated={} skipped={} failed={} waited={}",
+            self.total, self.cached, self.simulated, self.skipped, self.failed, self.waited
         )
     }
 }
@@ -128,7 +179,11 @@ pub struct CellFailure {
 
 /// The persisted record of a degraded run: which cells failed, how, and
 /// under which shard. Written to `<store>/failures/<grid>.json` whenever a
-/// run ends with failures; removed by the next fully clean unsharded run.
+/// run ends with failures. Updates merge under the store lock: a later run
+/// (any shard) drops every recorded failure whose cell now verifies in the
+/// store and the manifest disappears once nothing is left — so sharded
+/// reruns and [`merge`] heal it exactly like unsharded ones. `shard`
+/// records the last writer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FailureManifest {
     /// Grid name.
@@ -280,6 +335,177 @@ fn run_cell_guarded(
     received.map_err(|msg| (FailureKind::Panic, msg))
 }
 
+/// The per-run coordination plane: lease manager + journal + the set of
+/// hashes this run currently holds leases on (kept fresh by the heartbeat
+/// thread).
+struct CoordPlane {
+    leases: LeaseManager,
+    journal: Arc<Journal>,
+    grid: String,
+    ttl_override: Option<Duration>,
+    active: Mutex<HashSet<String>>,
+}
+
+impl CoordPlane {
+    fn open(
+        store: &ResultStore,
+        grid: &str,
+        coord: &CoordOpts,
+        faults: Option<FaultInjector>,
+    ) -> std::io::Result<Self> {
+        let holder = coord.holder.clone().unwrap_or_else(lease::unique_holder);
+        let leases = LeaseManager::open(store.dir(), holder.clone())?.with_faults(faults.clone());
+        let journal = Arc::new(Journal::open(store.dir(), holder).with_faults(faults));
+        Ok(Self {
+            leases,
+            journal,
+            grid: grid.to_string(),
+            ttl_override: coord.lease_ttl,
+            active: Mutex::new(HashSet::new()),
+        })
+    }
+
+    /// The TTL to stamp into (and refresh onto) leases right now.
+    fn ttl(&self, estimator: &DeadlineEstimator) -> Duration {
+        self.ttl_override.unwrap_or_else(|| {
+            estimator
+                .deadline()
+                .map_or(LEASE_TTL_FLOOR, |d| d.max(LEASE_TTL_FLOOR))
+        })
+    }
+
+    /// Heartbeat period: a quarter of the TTL, clamped to [50 ms, 2 s].
+    fn heartbeat_interval(&self, estimator: &DeadlineEstimator) -> Duration {
+        (self.ttl(estimator) / 4).clamp(Duration::from_millis(50), Duration::from_secs(2))
+    }
+
+    fn register(&self, hash: &str) {
+        self.active
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(hash.to_string());
+    }
+
+    fn release(&self, hash: &str) {
+        self.active
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(hash);
+        self.leases.release(hash);
+    }
+
+    /// Refreshes every lease this run holds (heartbeat-thread body).
+    fn refresh_active(&self, estimator: &DeadlineEstimator) {
+        let held: Vec<String> = self
+            .active
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .cloned()
+            .collect();
+        let ttl = self.ttl(estimator);
+        for hash in held {
+            match self.leases.refresh(&hash, ttl) {
+                Ok(true) => {}
+                Ok(false) => eprintln!(
+                    "chronus-grid: lease on cell {hash} was lost (reclaimed as stale); \
+                     continuing — a duplicate computation is possible but harmless"
+                ),
+                Err(e) => eprintln!("chronus-grid: lease heartbeat for {hash} failed: {e}"),
+            }
+        }
+    }
+
+    /// Executor-open hook: sweep leases abandoned by crashed holders so no
+    /// cell stays blocked longer than one TTL (and, on this host, no
+    /// longer than the next open).
+    fn reclaim_stale_on_open(&self) {
+        match self.leases.reclaim_stale() {
+            Ok(reclaimed) if !reclaimed.is_empty() => {
+                eprintln!(
+                    "chronus-grid: reclaimed {} stale lease(s) left by crashed holder(s)",
+                    reclaimed.len()
+                );
+                for (hash, holder) in reclaimed {
+                    self.journal.record(
+                        EventKind::Fail,
+                        &self.grid,
+                        &hash,
+                        0,
+                        0.0,
+                        "",
+                        &format!("reclaimed stale lease from {holder}"),
+                    );
+                }
+            }
+            Ok(_) => {}
+            Err(e) => eprintln!("chronus-grid: stale-lease sweep failed: {e}"),
+        }
+    }
+}
+
+/// How a worker obtained the right to produce a cell's report.
+enum ClaimResult {
+    /// We hold the lease; simulate.
+    Claimed,
+    /// Another process completed the cell while we waited; here is its
+    /// verified result (boxed: a report dwarfs the other variants).
+    Resolved(Box<SimReport>),
+    /// Lease I/O failed; proceed without coordination (duplicate compute
+    /// possible, corruption not).
+    Uncoordinated,
+}
+
+/// Claims `hash` or waits out the live holder. Stale leases (crashed
+/// holders) are reclaimed inside `try_claim`, so a waiter never blocks
+/// longer than one TTL past the holder's death.
+fn claim_or_wait(
+    plane: &CoordPlane,
+    store: &ResultStore,
+    hash: &str,
+    ttl: Duration,
+) -> ClaimResult {
+    loop {
+        match plane.leases.try_claim(hash, ttl) {
+            Ok(ClaimOutcome::Claimed) => {
+                // Double-check under the lease: the entry may have landed
+                // between the cache pass and this claim.
+                if let Some(report) = store.get(hash) {
+                    plane.leases.release(hash);
+                    return ClaimResult::Resolved(Box::new(report));
+                }
+                plane.register(hash);
+                return ClaimResult::Claimed;
+            }
+            Ok(ClaimOutcome::Held(_)) => {
+                std::thread::sleep(LEASE_WAIT_POLL);
+                if let Some(report) = store.get(hash) {
+                    return ClaimResult::Resolved(Box::new(report));
+                }
+                // Not there yet: the holder is still computing (wait more)
+                // or failed/died (the next try_claim reclaims or surfaces
+                // its release).
+            }
+            Err(e) => {
+                eprintln!(
+                    "chronus-grid: lease claim for cell {hash} failed ({e}); continuing \
+                     uncoordinated (worst case: duplicate compute)"
+                );
+                return ClaimResult::Uncoordinated;
+            }
+        }
+    }
+}
+
+/// What one worker produced for one owned cell.
+struct CellDone {
+    report: SimReport,
+    /// Persistence failed (the report itself is still good).
+    store_failure: Option<CellFailure>,
+    /// The report came from another process's computation.
+    waited: bool,
+}
+
 /// Executes a grid: serves cached cells from `store`, simulates the misses
 /// this shard owns (in parallel, each attempt fault-isolated), and
 /// persists every fresh result. `store: None` disables caching entirely —
@@ -292,7 +518,20 @@ fn run_cell_guarded(
 /// `opts.retry`, and cells that exhaust their budget are recorded in
 /// [`GridOutcome::failures`] (and, when a store is present, persisted as a
 /// [`FailureManifest`]) while every other cell completes normally.
+///
+/// Store-backed runs coordinate through leases and the operations journal
+/// with default [`CoordOpts`]; see [`run_grid_coordinated`].
 pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -> GridOutcome {
+    run_grid_coordinated(spec, store, opts, &CoordOpts::default())
+}
+
+/// [`run_grid`] with explicit inter-process coordination options.
+pub fn run_grid_coordinated(
+    spec: &GridSpec,
+    store: Option<&ResultStore>,
+    opts: &ExecOpts,
+    coord: &CoordOpts,
+) -> GridOutcome {
     let started = Instant::now();
     let hashes = spec.hashes();
     let mut reports: Vec<Option<SimReport>> = vec![None; spec.cells.len()];
@@ -300,7 +539,38 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
         total: spec.cells.len(),
         ..ExecStats::default()
     };
-    let estimator = DeadlineEstimator::new(opts.cell_timeout);
+    let estimator = Arc::new(DeadlineEstimator::new(opts.cell_timeout));
+
+    // Coordination plane (leases + journal) for store-backed runs; lease
+    // I/O failure at open degrades to uncoordinated execution.
+    let plane: Option<Arc<CoordPlane>> = match store {
+        Some(s) if coord.enabled => {
+            match CoordPlane::open(s, &spec.name, coord, opts.faults.clone()) {
+                Ok(plane) => Some(Arc::new(plane)),
+                Err(e) => {
+                    eprintln!(
+                        "chronus-grid: could not open lease/journal plane ({e}); running \
+                         uncoordinated"
+                    );
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
+    // Route store-level events (demotes) through this run's journal unless
+    // the store already carries one.
+    let journaled_store: Option<ResultStore> = match (store, &plane) {
+        (Some(s), Some(p)) if s.journal().is_none() => {
+            Some(s.clone().with_journal(p.journal.clone()))
+        }
+        (Some(s), _) => Some(s.clone()),
+        (None, _) => None,
+    };
+    let store = journaled_store.as_ref();
+    if let Some(p) = &plane {
+        p.reclaim_stale_on_open();
+    }
 
     // Cache pass. Deduplicate lookups so a hash shared by many cells is
     // read once.
@@ -335,19 +605,78 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
         stats.skipped += by_hash[hashes[*i].as_str()].len();
     }
 
-    // Simulate the owned misses, each cell isolated and retried.
+    // Heartbeat thread: keeps every held lease's deadline ahead of the
+    // clock while cells compute. Stopped (and joined) before returning.
+    let hb_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat = plane.as_ref().map(|p| {
+        let plane = Arc::clone(p);
+        let estimator = Arc::clone(&estimator);
+        let stop = Arc::clone(&hb_stop);
+        std::thread::Builder::new()
+            .name("lease-heartbeat".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let interval = plane.heartbeat_interval(&estimator);
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop.load(Ordering::Relaxed) {
+                        let step = Duration::from_millis(25).min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    plane.refresh_active(&estimator);
+                }
+            })
+            .expect("spawn heartbeat thread")
+    });
+
+    // Simulate the owned misses, each cell isolated and retried. Claims,
+    // store writes and journal events all happen inside the worker, so a
+    // cell's lease is released the moment its entry lands — not at the
+    // end-of-grid barrier.
     let progress = Progress::new(&spec.name, owned.len(), opts.progress);
     let progress_ref = &progress;
     let cells_ref = &spec.cells;
     let hashes_ref = &hashes;
     let estimator_ref = &estimator;
+    let plane_ref = plane.as_deref();
     let owned_indices: Vec<usize> = owned.iter().map(|&(_, i)| i).collect();
     let worker_results = try_run_parallel(owned_indices.clone(), opts.threads, move |i| {
         let cell = &cells_ref[i];
         let hash = hashes_ref[i].as_str();
+
+        // Claim the cell (or wait out a live holder, or degrade to
+        // uncoordinated on lease I/O failure).
+        let mut holds_lease = false;
+        if let (Some(store), Some(plane)) = (store, plane_ref) {
+            match claim_or_wait(plane, store, hash, plane.ttl(estimator_ref)) {
+                ClaimResult::Resolved(report) => {
+                    progress_ref.cell_done(&cell.label);
+                    return Ok(CellDone {
+                        report: *report,
+                        store_failure: None,
+                        waited: true,
+                    });
+                }
+                ClaimResult::Claimed => holds_lease = true,
+                ClaimResult::Uncoordinated => {}
+            }
+            plane.journal.record(
+                EventKind::Claim,
+                &plane.grid,
+                hash,
+                0,
+                0.0,
+                "",
+                if holds_lease { "" } else { "uncoordinated" },
+            );
+        }
+
         let token = mix64(hash.as_bytes());
         let mut attempt: u32 = 0;
-        loop {
+        let simulated = loop {
             let attempt_started = Instant::now();
             let outcome = run_cell_guarded(
                 cell.clone(),
@@ -361,12 +690,12 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
                     let wall = attempt_started.elapsed().as_secs_f64();
                     estimator_ref.record(wall);
                     progress_ref.cell_done(&cell.label);
-                    return Ok((report, wall));
+                    break Ok((report, wall));
                 }
                 Err((kind, error)) => {
                     progress_ref.cell_failed(&cell.label, attempt, &error);
                     if attempt >= opts.retry.max_retries {
-                        return Err(CellFailure {
+                        break Err(CellFailure {
                             index: i,
                             label: cell.label.clone(),
                             hash: hash.to_string(),
@@ -379,10 +708,89 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
                     attempt += 1;
                 }
             }
+        };
+
+        let out = match simulated {
+            Ok((report, wall)) => {
+                let mut store_failure = None;
+                if let Some(store) = store {
+                    match put_with_retry(store, hash, cell, &report, &opts.retry) {
+                        Ok(checksum) => {
+                            store.record_wall(hash, wall);
+                            if let Some(plane) = plane_ref {
+                                plane.journal.record(
+                                    EventKind::Complete,
+                                    &plane.grid,
+                                    hash,
+                                    attempt,
+                                    wall,
+                                    &checksum,
+                                    "",
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "chronus-grid: failed to persist cell {hash} to {}: {e}",
+                                store.dir().display()
+                            );
+                            if let Some(plane) = plane_ref {
+                                plane.journal.record(
+                                    EventKind::Fail,
+                                    &plane.grid,
+                                    hash,
+                                    attempt,
+                                    wall,
+                                    "",
+                                    &format!("store-write: {e}"),
+                                );
+                            }
+                            store_failure = Some(CellFailure {
+                                index: i,
+                                label: cell.label.clone(),
+                                hash: hash.to_string(),
+                                kind: FailureKind::StoreWrite,
+                                attempts: opts.retry.attempts(),
+                                error: e.to_string(),
+                            });
+                        }
+                    }
+                }
+                Ok(CellDone {
+                    report,
+                    store_failure,
+                    waited: false,
+                })
+            }
+            Err(failure) => {
+                if let Some(plane) = plane_ref {
+                    plane.journal.record(
+                        EventKind::Fail,
+                        &plane.grid,
+                        hash,
+                        failure.attempts,
+                        0.0,
+                        "",
+                        &format!("{:?}: {}", failure.kind, failure.error),
+                    );
+                }
+                Err(failure)
+            }
+        };
+        if holds_lease {
+            if let Some(plane) = plane_ref {
+                plane.release(hash);
+            }
         }
+        out
     });
 
-    // Write-back and fan-out. Worker-level panics (outside the per-cell
+    if let Some(handle) = heartbeat {
+        hb_stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+
+    // Fan-out and accounting. Worker-level panics (outside the per-cell
     // guard) are demoted to cell failures too: one bad worker must never
     // take the grid down.
     let mut failures: Vec<CellFailure> = Vec::new();
@@ -390,8 +798,7 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
         let hash = hashes[i].as_str();
         let indices = &by_hash[hash];
         let flattened = match result {
-            Ok(Ok((report, wall))) => Ok((report, wall)),
-            Ok(Err(failure)) => Err(failure),
+            Ok(done) => done,
             Err(panic_msg) => Err(CellFailure {
                 index: i,
                 label: spec.cells[i].label.clone(),
@@ -402,29 +809,17 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
             }),
         };
         match flattened {
-            Ok((report, wall)) => {
-                if let Some(store) = store {
-                    match put_with_retry(store, hash, &spec.cells[i], &report, &opts.retry) {
-                        Ok(()) => store.record_wall(hash, wall),
-                        Err(e) => {
-                            eprintln!(
-                                "chronus-grid: failed to persist cell {hash} to {}: {e}",
-                                store.dir().display()
-                            );
-                            failures.push(CellFailure {
-                                index: i,
-                                label: spec.cells[i].label.clone(),
-                                hash: hash.to_string(),
-                                kind: FailureKind::StoreWrite,
-                                attempts: opts.retry.attempts(),
-                                error: e.to_string(),
-                            });
-                        }
-                    }
+            Ok(done) => {
+                if done.waited {
+                    stats.waited += indices.len();
+                } else {
+                    stats.simulated += indices.len();
                 }
-                stats.simulated += indices.len();
+                if let Some(failure) = done.store_failure {
+                    failures.push(failure);
+                }
                 for &j in indices {
-                    reports[j] = Some(report.clone());
+                    reports[j] = Some(done.report.clone());
                 }
             }
             Err(failure) => {
@@ -438,18 +833,13 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
     // Persist (or heal) the failure manifest so `chronus-sweep status` and
     // later runs see what degraded.
     if let Some(store) = store {
-        if !failures.is_empty() {
-            let manifest = FailureManifest {
-                grid: spec.name.clone(),
-                shard: opts.shard.to_string(),
-                failures: failures.clone(),
-            };
-            if let Err(e) = store.save_manifest(&manifest) {
-                eprintln!("chronus-grid: failed to write failure manifest: {e}");
-            }
-        } else if opts.shard.is_full() && reports.iter().all(Option::is_some) {
-            store.clear_manifest(&spec.name);
-        }
+        update_manifest(
+            store,
+            spec,
+            &opts.shard,
+            &failures,
+            reports.iter().all(Option::is_some),
+        );
     }
 
     GridOutcome {
@@ -460,19 +850,70 @@ pub fn run_grid(spec: &GridSpec, store: Option<&ResultStore>, opts: &ExecOpts) -
     }
 }
 
+/// Merges this run's failures into the grid's persisted manifest under the
+/// store lock. Prior failures whose cells now verify in the store are
+/// dropped (any shard's rerun heals them); failures re-observed this run
+/// replace their prior record; an empty result removes the manifest.
+fn update_manifest(
+    store: &ResultStore,
+    spec: &GridSpec,
+    shard: &Shard,
+    failures: &[CellFailure],
+    complete: bool,
+) {
+    let lock = store.lock();
+    if let Err(e) = &lock {
+        eprintln!("chronus-grid: store lock for manifest update failed ({e}); proceeding");
+    }
+    // A fully clean, complete, unsharded run owns the whole grid: clear
+    // unconditionally (even records from stale specs).
+    if failures.is_empty() && shard.is_full() && complete {
+        store.clear_manifest(&spec.name);
+        return;
+    }
+    let mut merged: Vec<CellFailure> = Vec::new();
+    if let ManifestState::Ok(prior) = store.manifest_state(&spec.name) {
+        for f in prior.failures {
+            if failures.iter().any(|g| g.hash == f.hash) {
+                continue; // superseded by this run's record
+            }
+            if store.verify(&f.hash).is_ok() {
+                continue; // healed since (by any shard or process)
+            }
+            merged.push(f);
+        }
+    }
+    merged.extend_from_slice(failures);
+    merged.sort_by(|a, b| (a.index, &a.hash).cmp(&(b.index, &b.hash)));
+    merged.dedup_by(|a, b| a.hash == b.hash);
+    if merged.is_empty() {
+        store.clear_manifest(&spec.name);
+    } else {
+        let manifest = FailureManifest {
+            grid: spec.name.clone(),
+            shard: shard.to_string(),
+            failures: merged,
+        };
+        if let Err(e) = store.save_manifest(&manifest) {
+            eprintln!("chronus-grid: failed to write failure manifest: {e}");
+        }
+    }
+}
+
 /// Persists one cell, retrying transient write failures under `retry`.
+/// Returns the entry's footer digest.
 fn put_with_retry(
     store: &ResultStore,
     hash: &str,
     cell: &CellSpec,
     report: &SimReport,
     retry: &RetryPolicy,
-) -> std::io::Result<()> {
+) -> std::io::Result<String> {
     let token = mix64(format!("put|{hash}").as_bytes());
     let mut attempt: u32 = 0;
     loop {
         match store.put(hash, cell, report) {
-            Ok(()) => return Ok(()),
+            Ok(checksum) => return Ok(checksum),
             Err(e) if attempt >= retry.max_retries => return Err(e),
             Err(_) => {
                 retry.sleep_before_retry(attempt, token);
@@ -489,6 +930,10 @@ fn put_with_retry(
 /// integrity verification count as missing (they re-simulate on the next
 /// run) rather than erroring the merge.
 ///
+/// As a side effect, the grid's failure manifest is healed (removed, under
+/// the store lock) when every cell it records now verifies in the store —
+/// so a manifest left by a degraded shard does not outlive its recovery.
+///
 /// # Errors
 ///
 /// Returns the indices of cells missing from the store.
@@ -501,10 +946,35 @@ pub fn merge(spec: &GridSpec, store: &ResultStore) -> Result<Vec<SimReport>, Vec
             None => missing.push(i),
         }
     }
+    heal_manifest(spec, store);
     if missing.is_empty() {
         Ok(out)
     } else {
         Err(missing)
+    }
+}
+
+/// Removes the grid's failure manifest when every failure it records now
+/// verifies in the store (under the store lock, so a concurrent writer is
+/// not clobbered).
+fn heal_manifest(spec: &GridSpec, store: &ResultStore) {
+    let Ok(_lock) = store.lock() else {
+        return;
+    };
+    let ManifestState::Ok(manifest) = store.manifest_state(&spec.name) else {
+        return;
+    };
+    if manifest.failures.is_empty()
+        || manifest
+            .failures
+            .iter()
+            .all(|f| store.verify(&f.hash).is_ok())
+    {
+        store.clear_manifest(&spec.name);
+        eprintln!(
+            "chronus-grid: failure manifest for '{}' healed (every recorded cell now verifies)",
+            spec.name
+        );
     }
 }
 
@@ -588,10 +1058,11 @@ mod tests {
             simulated: 2,
             skipped: 0,
             failed: 1,
+            waited: 0,
         };
         assert_eq!(
             stats.summary(),
-            "cells=4 cached=1 simulated=2 skipped=0 failed=1"
+            "cells=4 cached=1 simulated=2 skipped=0 failed=1 waited=0"
         );
     }
 

@@ -40,9 +40,12 @@
 //! ```
 
 pub mod cell;
+pub mod doctor;
 pub mod exec;
 pub mod faults;
 pub mod hash;
+pub mod journal;
+pub mod lease;
 pub mod progress;
 pub mod retry;
 pub mod shard;
@@ -50,17 +53,20 @@ pub mod spec;
 pub mod store;
 
 pub use cell::{AppTrace, AttackSpec, CellKey, CellSpec, WorkloadSpec, SIM_VERSION};
+pub use doctor::{run_doctor, DoctorReport};
 pub use exec::{
-    merge, run_grid, simulate_cell, CellFailure, ExecOpts, ExecStats, FailureKind, FailureManifest,
-    GridOutcome, DEGRADED_EXIT,
+    merge, run_grid, run_grid_coordinated, simulate_cell, CellFailure, CoordOpts, ExecOpts,
+    ExecStats, FailureKind, FailureManifest, GridOutcome, DEGRADED_EXIT,
 };
 pub use faults::{ExecFault, FaultInjector, FaultPlan, FAULTS_ENV};
 pub use hash::cell_hash;
+pub use journal::{EventKind, Journal, JournalEvent, JournalScan};
+pub use lease::{ClaimOutcome, LeaseInfo, LeaseManager};
 pub use progress::Progress;
 pub use retry::RetryPolicy;
 pub use shard::Shard;
 pub use spec::GridSpec;
 pub use store::{
-    CellRecord, EntryIssue, EntryState, FsckReport, ResultStore, DEFAULT_GRID_DIR, GRID_DIR_ENV,
-    STORE_FORMAT_VERSION,
+    CellRecord, EntryIssue, EntryState, FsckReport, ManifestState, ResultStore, StoreLock,
+    DEFAULT_GRID_DIR, GRID_DIR_ENV, STORE_FORMAT_VERSION,
 };

@@ -32,6 +32,7 @@
 use std::collections::HashSet;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 use chronus_sim::SimReport;
@@ -41,6 +42,8 @@ use crate::cell::{CellKey, CellSpec, SIM_VERSION};
 use crate::exec::FailureManifest;
 use crate::faults::FaultInjector;
 use crate::hash::digest128;
+use crate::journal::{EventKind, Journal};
+use crate::lease;
 
 /// Environment variable overriding the default store directory.
 pub const GRID_DIR_ENV: &str = "CHRONUS_GRID_DIR";
@@ -152,30 +155,59 @@ pub struct FsckReport {
     pub ok: usize,
     /// `(file name, reason)` of every entry moved to `quarantine/`.
     pub quarantined: Vec<(String, String)>,
+    /// `(manifest file name, reason)` of every corrupt failure manifest
+    /// moved to `quarantine/failures/`.
+    pub quarantined_manifests: Vec<(String, String)>,
     /// Orphaned temp files removed.
     pub reaped_tmp: usize,
     /// Wall-clock sidecars whose entry no longer exists, removed.
     pub reaped_sidecars: usize,
+    /// Entries (and temp files) left untouched because a live lease
+    /// protects them.
+    pub leased_skipped: usize,
 }
 
 impl FsckReport {
-    /// Whether every entry verified (reaping orphans still counts as
-    /// clean).
+    /// Whether every entry and manifest verified (reaping orphans still
+    /// counts as clean).
     pub fn is_clean(&self) -> bool {
-        self.quarantined.is_empty()
+        self.quarantined.is_empty() && self.quarantined_manifests.is_empty()
     }
 
     /// One machine-greppable line.
     pub fn summary(&self) -> String {
         format!(
-            "scanned={} ok={} quarantined={} reaped_tmp={} reaped_sidecars={}",
+            "scanned={} ok={} quarantined={} reaped_tmp={} reaped_sidecars={} manifests={} leased={}",
             self.scanned,
             self.ok,
             self.quarantined.len(),
             self.reaped_tmp,
-            self.reaped_sidecars
+            self.reaped_sidecars,
+            self.quarantined_manifests.len(),
+            self.leased_skipped
         )
     }
+}
+
+/// The verified state of a grid's failure manifest.
+#[derive(Debug)]
+pub enum ManifestState {
+    /// No manifest for this grid.
+    Missing,
+    /// The manifest parsed cleanly.
+    Ok(FailureManifest),
+    /// A manifest file exists but cannot be read or parsed — failure
+    /// history is at risk of silent loss.
+    Bad(String),
+}
+
+/// Holds the advisory whole-store lock while in scope (dropped = released;
+/// the kernel also releases it if the holder dies). Serializes the
+/// multi-step read-modify-write paths that atomic rename alone cannot
+/// protect: failure-manifest merges, `gc`, `fsck`, and `doctor`.
+#[derive(Debug)]
+pub struct StoreLock {
+    _file: std::fs::File,
 }
 
 /// A directory of completed cells keyed by content hash.
@@ -183,6 +215,7 @@ impl FsckReport {
 pub struct ResultStore {
     dir: PathBuf,
     faults: Option<FaultInjector>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl ResultStore {
@@ -195,7 +228,11 @@ impl ResultStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let store = Self { dir, faults: None };
+        let store = Self {
+            dir,
+            faults: None,
+            journal: None,
+        };
         match store.reap_tmp_older_than(STALE_TMP_AGE) {
             Ok(0) | Err(_) => {}
             Ok(n) => eprintln!(
@@ -230,9 +267,54 @@ impl ResultStore {
         self
     }
 
+    /// Attaches an operations journal: store-level mutations (demotes,
+    /// quarantines, gc) are recorded through it. Cell-level events (claim,
+    /// complete, fail) are the executor's responsibility — it has the grid
+    /// context.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// The attached fault injector, if any.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Acquires the advisory whole-store lock (blocking). See
+    /// [`StoreLock`]. Lock holders must not call other locking methods
+    /// (`fsck`, `gc`) while holding it — `flock` does not nest across
+    /// descriptors within one process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lock-file creation and `flock` failures.
+    pub fn lock(&self) -> io::Result<StoreLock> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(self.dir.join(".store.lock"))?;
+        file.lock()?;
+        Ok(StoreLock { _file: file })
+    }
+
+    /// Records a store-level journal event, if a journal is attached.
+    fn journal_event(&self, kind: EventKind, target: &str, detail: &str) {
+        if let Some(journal) = &self.journal {
+            journal.record(kind, "-", target, 0, 0.0, "", detail);
+        }
     }
 
     /// The file path of a hash.
@@ -295,18 +377,21 @@ impl ResultStore {
                      to quarantine it",
                     self.path_of(hash).display()
                 );
+                self.journal_event(EventKind::Demote, hash, &issue.to_string());
                 None
             }
         }
     }
 
     /// Persists a completed cell atomically (write temp file, rename),
-    /// appending the integrity footer.
+    /// appending the integrity footer. Returns the footer digest, which
+    /// the executor journals with the `Complete` event so `doctor` can
+    /// later match journal against store contents.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures (including injected ones).
-    pub fn put(&self, hash: &str, cell: &CellSpec, report: &SimReport) -> io::Result<()> {
+    pub fn put(&self, hash: &str, cell: &CellSpec, report: &SimReport) -> io::Result<String> {
         if let Some(faults) = &self.faults {
             if let Some(e) = faults.io_fault("put", hash) {
                 return Err(e);
@@ -317,10 +402,27 @@ impl ResultStore {
             report: report.clone(),
         };
         let payload = serde_json::to_string_pretty(&record).expect("records always serialize");
-        let full = format!("{payload}\n{}\n", footer_line(&payload));
+        let digest = digest128(payload.as_bytes());
+        let full = format!(
+            "{payload}\n{FOOTER_TAG} v{STORE_FORMAT_VERSION} len={} fnv={digest}\n",
+            payload.len()
+        );
         let tmp = self.dir.join(format!(".{hash}.{}.tmp", std::process::id()));
         std::fs::write(&tmp, full)?;
-        std::fs::rename(&tmp, self.path_of(hash))
+        std::fs::rename(&tmp, self.path_of(hash))?;
+        Ok(digest)
+    }
+
+    /// The footer digest of a fully verified entry; `None` when the entry
+    /// is missing or fails verification.
+    pub fn verified_digest(&self, hash: &str) -> Option<String> {
+        let text = std::fs::read_to_string(self.path_of(hash)).ok()?;
+        verify_entry_text(&text).ok()?;
+        let trimmed = text.strip_suffix('\n').unwrap_or(&text);
+        let (_, footer) = trimmed.rsplit_once('\n')?;
+        footer
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("fnv=").map(str::to_string))
     }
 
     /// Records the wall-clock cost of a completed cell (best-effort
@@ -357,37 +459,50 @@ impl ResultStore {
     }
 
     /// Deletes every entry (and its wall sidecar) whose hash is not in
-    /// `keep`; returns how many entries were removed.
+    /// `keep`; returns how many entries were removed. Takes the store
+    /// lock; entries protected by a live lease are skipped (a concurrent
+    /// executor is computing them right now).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn gc(&self, keep: &HashSet<String>) -> io::Result<usize> {
+        let _lock = self.lock()?;
+        let leased = lease::live_hashes(&self.dir);
         let mut removed = 0;
         for hash in self.list()? {
-            if !keep.contains(&hash) {
-                std::fs::remove_file(self.path_of(&hash))?;
-                let _ = std::fs::remove_file(self.wall_path(&hash));
-                removed += 1;
+            if keep.contains(&hash) || leased.contains(&hash) {
+                continue;
             }
+            std::fs::remove_file(self.path_of(&hash))?;
+            let _ = std::fs::remove_file(self.wall_path(&hash));
+            self.journal_event(EventKind::Gc, &hash, "outside keep-set");
+            removed += 1;
         }
         Ok(removed)
     }
 
     /// Removes temp files older than `age`; returns how many were reaped.
-    /// `Duration::ZERO` reaps unconditionally (what `fsck` uses; only safe
-    /// when no writer is live).
+    /// `Duration::ZERO` reaps unconditionally (what `fsck` uses). Temp
+    /// files of cells protected by a live lease are always left alone —
+    /// their writer is mid-flight.
     ///
     /// # Errors
     ///
     /// Propagates directory-read failures (individual file races are
     /// ignored).
     pub fn reap_tmp_older_than(&self, age: Duration) -> io::Result<usize> {
+        let leased = lease::live_hashes(&self.dir);
         let now = std::time::SystemTime::now();
         let mut reaped = 0;
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
-            if !entry.file_name().to_string_lossy().ends_with(".tmp") {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !name.ends_with(".tmp") {
+                continue;
+            }
+            if tmp_hash(&name).is_some_and(|h| leased.contains(h)) {
                 continue;
             }
             let stale = age.is_zero()
@@ -406,12 +521,23 @@ impl ResultStore {
 
     /// Scans the whole store: verifies every entry, moves the ones that
     /// fail into `quarantine/` (re-enqueueing them — the next run misses
-    /// and re-simulates), reaps all temp files and orphaned wall sidecars.
+    /// and re-simulates), quarantines corrupt failure manifests, reaps
+    /// temp files and orphaned wall sidecars. Takes the store lock; cells
+    /// protected by a live lease are skipped, not judged.
     ///
     /// # Errors
     ///
     /// Propagates directory-read and quarantine-move failures.
     pub fn fsck(&self) -> io::Result<FsckReport> {
+        let _lock = self.lock()?;
+        self.fsck_inner()
+    }
+
+    /// [`Self::fsck`] without taking the store lock — for callers (the
+    /// `doctor` pass) that already hold it. `flock` does not nest across
+    /// descriptors within one process, so re-locking would self-deadlock.
+    pub(crate) fn fsck_inner(&self) -> io::Result<FsckReport> {
+        let leased = lease::live_hashes(&self.dir);
         let mut report = FsckReport {
             reaped_tmp: self.reap_tmp_older_than(Duration::ZERO)?,
             ..FsckReport::default()
@@ -435,22 +561,65 @@ impl ResultStore {
             if !is_hash(hash) {
                 continue;
             }
+            if leased.contains(hash) {
+                report.leased_skipped += 1;
+                continue;
+            }
             report.scanned += 1;
             match self.verify(hash) {
                 EntryState::Ok(_) => report.ok += 1,
                 EntryState::Missing => {}
                 EntryState::Bad(issue) => {
                     self.quarantine(&name)?;
+                    self.journal_event(EventKind::Quarantine, hash, &issue.to_string());
                     report.quarantined.push((name, issue.to_string()));
                 }
             }
         }
         for hash in sidecars {
+            if leased.contains(&hash) {
+                continue;
+            }
             if !self.contains(&hash) && std::fs::remove_file(self.wall_path(&hash)).is_ok() {
                 report.reaped_sidecars += 1;
             }
         }
+        self.fsck_manifests(&mut report)?;
         Ok(report)
+    }
+
+    /// Quarantines corrupt failure manifests (and reaps their orphaned
+    /// temp files) under `quarantine/failures/`.
+    fn fsck_manifests(&self, report: &mut FsckReport) -> io::Result<()> {
+        let fdir = self.dir.join("failures");
+        let entries = match std::fs::read_dir(&fdir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                if std::fs::remove_file(entry.path()).is_ok() {
+                    report.reaped_tmp += 1;
+                }
+                continue;
+            }
+            let Some(grid) = name.strip_suffix(".json") else {
+                continue;
+            };
+            if let ManifestState::Bad(reason) = self.manifest_state_raw(grid) {
+                let qdir = self.quarantine_dir().join("failures");
+                std::fs::create_dir_all(&qdir)?;
+                let dest = qdir.join(&name);
+                let _ = std::fs::remove_file(&dest);
+                std::fs::rename(entry.path(), dest)?;
+                self.journal_event(EventKind::Quarantine, &format!("failures/{name}"), &reason);
+                report.quarantined_manifests.push((name, reason));
+            }
+        }
+        Ok(())
     }
 
     /// Moves one store file into `quarantine/` (replacing any previous
@@ -477,10 +646,44 @@ impl ResultStore {
         std::fs::rename(&tmp, path)
     }
 
-    /// Loads a grid's failure manifest; `None` when absent or unreadable.
+    /// The verified state of a grid's failure manifest, without reporting.
+    fn manifest_state_raw(&self, grid: &str) -> ManifestState {
+        let text = match std::fs::read_to_string(self.manifest_path(grid)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return ManifestState::Missing,
+            Err(e) => return ManifestState::Bad(format!("unreadable ({e})")),
+        };
+        match serde_json::from_str(&text) {
+            Ok(manifest) => ManifestState::Ok(manifest),
+            Err(e) => ManifestState::Bad(format!("unparseable manifest ({e})")),
+        }
+    }
+
+    /// The verified state of a grid's failure manifest. A `Bad` state is
+    /// reported and journaled (demote path) — corrupt failure history must
+    /// never vanish silently.
+    pub fn manifest_state(&self, grid: &str) -> ManifestState {
+        let state = self.manifest_state_raw(grid);
+        if let ManifestState::Bad(reason) = &state {
+            eprintln!(
+                "chronus-grid: failure manifest {} is corrupt ({reason}); treating as absent — \
+                 run `chronus-sweep fsck` to quarantine it",
+                self.manifest_path(grid).display()
+            );
+            let name = format!("failures/{grid}.json");
+            self.journal_event(EventKind::Demote, &name, reason);
+        }
+        state
+    }
+
+    /// Loads a grid's failure manifest; `None` when absent. A corrupt
+    /// manifest is reported and journaled (see [`Self::manifest_state`])
+    /// before behaving as absent.
     pub fn load_manifest(&self, grid: &str) -> Option<FailureManifest> {
-        let text = std::fs::read_to_string(self.manifest_path(grid)).ok()?;
-        serde_json::from_str(&text).ok()
+        match self.manifest_state(grid) {
+            ManifestState::Ok(manifest) => Some(manifest),
+            ManifestState::Missing | ManifestState::Bad(_) => None,
+        }
     }
 
     /// Removes a grid's failure manifest (a fully clean run heals it).
@@ -494,13 +697,11 @@ fn is_hash(s: &str) -> bool {
     s.len() == 32 && s.bytes().all(|b| b.is_ascii_hexdigit())
 }
 
-/// The integrity footer of a payload.
-fn footer_line(payload: &str) -> String {
-    format!(
-        "{FOOTER_TAG} v{STORE_FORMAT_VERSION} len={} fnv={}",
-        payload.len(),
-        digest128(payload.as_bytes())
-    )
+/// The cell hash embedded in a temp-file name (`.{hash}.{pid}.tmp`).
+fn tmp_hash(name: &str) -> Option<&str> {
+    let stem = name.strip_prefix('.')?.strip_suffix(".tmp")?;
+    let (hash, _pid) = stem.split_once('.')?;
+    is_hash(hash).then_some(hash)
 }
 
 /// Splits and checks the footer, then parses the payload.
@@ -755,6 +956,114 @@ mod tests {
         // First get is injected into a miss; the retry reads through.
         assert!(store.get(&hash).is_none());
         assert_eq!(store.get(&hash).unwrap(), report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_returns_the_footer_digest() {
+        let (dir, store, hash, _) = populated("digest");
+        let digest = store.verified_digest(&hash).expect("entry verifies");
+        let text = std::fs::read_to_string(store.path_of(&hash)).unwrap();
+        assert!(text.contains(&format!("fnv={digest}")));
+        // A corrupt entry yields no digest.
+        std::fs::write(store.path_of(&hash), "{oops").unwrap();
+        assert_eq!(store.verified_digest(&hash), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifests_are_reported_not_swallowed() {
+        let (dir, store, _, _) = populated("manifest-bad");
+        let path = store.manifest_path("g");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(store.manifest_state("g"), ManifestState::Bad(_)));
+        assert!(store.load_manifest("g").is_none());
+        assert!(matches!(
+            store.manifest_state("nope"),
+            ManifestState::Missing
+        ));
+
+        // fsck quarantines the corrupt manifest under quarantine/failures/.
+        let report = store.fsck().unwrap();
+        assert_eq!(report.quarantined_manifests.len(), 1);
+        assert_eq!(report.quarantined_manifests[0].0, "g.json");
+        assert!(!report.is_clean());
+        assert!(!path.exists());
+        assert!(store
+            .quarantine_dir()
+            .join("failures")
+            .join("g.json")
+            .is_file());
+        assert!(matches!(store.manifest_state("g"), ManifestState::Missing));
+        assert!(store.fsck().unwrap().is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_and_fsck_skip_live_leased_cells() {
+        let (dir, store, hash, _) = populated("leased");
+        // A live lease on a second, *corrupt* cell: neither gc nor fsck
+        // may touch it (its writer could be mid-flight), and its pending
+        // temp file survives reaping.
+        let leased = "d".repeat(32);
+        std::fs::write(store.path_of(&leased), "{torn").unwrap();
+        std::fs::write(dir.join(format!(".{leased}.77.tmp")), "pending").unwrap();
+        let mgr = crate::lease::LeaseManager::open(&dir, "host-1-0").unwrap();
+        mgr.try_claim(&leased, Duration::from_secs(60)).unwrap();
+
+        let keep: HashSet<String> = HashSet::new();
+        assert_eq!(store.gc(&keep).unwrap(), 1, "only the unleased entry goes");
+        assert!(!store.contains(&hash));
+        assert!(store.contains(&leased), "leased cell survives gc");
+
+        let report = store.fsck().unwrap();
+        assert_eq!(report.leased_skipped, 1);
+        assert!(report.quarantined.is_empty(), "leased cell is not judged");
+        assert_eq!(report.reaped_tmp, 0, "leased tmp survives");
+        assert!(dir.join(format!(".{leased}.77.tmp")).exists());
+
+        // Once the lease is released, fsck reaps and quarantines normally.
+        mgr.release(&leased);
+        let report = store.fsck().unwrap();
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.reaped_tmp, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_lock_is_exclusive_across_descriptors() {
+        let dir = scratch("lock");
+        let store = ResultStore::open(&dir).unwrap();
+        let guard = store.lock().unwrap();
+        // A second descriptor cannot acquire while the first is held.
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(dir.join(".store.lock"))
+            .unwrap();
+        assert!(file.try_lock().is_err(), "lock must be held");
+        drop(guard);
+        assert!(file.try_lock().is_ok(), "drop must release the lock");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_mutations_are_journaled() {
+        let (dir, store, hash, _) = populated("journaled");
+        let journal = Arc::new(crate::journal::Journal::open(&dir, "host-1-9"));
+        let store = store.with_journal(journal);
+        // Demote: a corrupt entry read through `get`.
+        std::fs::write(store.path_of(&hash), "{oops").unwrap();
+        assert!(store.get(&hash).is_none());
+        // Quarantine: fsck moves it out.
+        store.fsck().unwrap();
+        let scan = crate::journal::read_events(&dir).unwrap();
+        let kinds: Vec<EventKind> = scan.events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&EventKind::Demote));
+        assert!(kinds.contains(&EventKind::Quarantine));
+        assert!(scan.events.iter().all(|e| e.hash == hash));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
