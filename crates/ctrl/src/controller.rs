@@ -7,10 +7,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::mapping::AddressMapping;
 use crate::mitigation::{CtrlMitigation, CtrlMitigationStats, MitigationAction, NoCtrlMitigation};
+use crate::queue::RequestQueue;
 use crate::refresh::RefreshEngine;
 use crate::request::{Completion, MemRequest, ReqKind, INTERNAL_CORE};
-use crate::rfm::{BackOffFsm, RfmPolicy};
-use crate::scheduler::{self, Decision, Entry};
+use crate::rfm::{BackOffFsm, BackOffState, RfmPolicy};
+use crate::scheduler::{self, Decision};
 
 /// Controller configuration (Table 2 defaults via [`CtrlConfig::default`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,26 +111,45 @@ struct PendingVrr {
     completes_service_of: Option<RowId>,
 }
 
+/// Tombstones beyond which the VRR queue is compacted in one `retain`
+/// sweep (middle removals are tombstoned to stay O(1); issue order is
+/// unaffected because tombstones are invisible to the scan).
+const VRR_COMPACT_THRESHOLD: usize = 64;
+
 /// The DDR5 memory controller.
 pub struct MemoryController {
     cfg: CtrlConfig,
-    reads: Vec<Entry>,
-    writes: Vec<Entry>,
+    reads: RequestQueue,
+    writes: RequestQueue,
     /// Pending victim-row refreshes (strict priority over demand).
-    vrrq: VecDeque<PendingVrr>,
+    /// `None` entries are tombstones of already-issued VRRs.
+    vrrq: VecDeque<Option<PendingVrr>>,
+    vrr_tombstones: usize,
     completions: BinaryHeap<PendingCompletion>,
     fsm: Vec<BackOffFsm>,
     refresh: Vec<RefreshEngine>,
     /// PRFM rolling activation counters, per flat bank.
     raa: Vec<u32>,
     /// Ranks whose RAA counters demand an RFM before further activations
-    /// (recomputed every tick; blocks demand like a recovery period).
+    /// (maintained incrementally at the increment/subtract points; blocks
+    /// demand like a recovery period).
     raa_hot: Vec<bool>,
     hit_streak: Vec<u32>,
     mitigation: Box<dyn CtrlMitigation>,
     drain_mode: bool,
     actions_buf: Vec<MitigationAction>,
     stats: CtrlStats,
+    /// Memoized [`MemoryController::next_wake`] verdict; valid while
+    /// `!wake_dirty` and strictly in the future.
+    wake_cache: Cycle,
+    wake_dirty: bool,
+    /// The demand decision the tick at `wake_cache` will take, when the
+    /// wake is decided strictly by a demand candidate (`(decision,
+    /// is_write_queue)`). Valid under the same conditions as `wake_cache`
+    /// and only at exactly that cycle; lets the tick skip its queue scan.
+    wake_decision: Option<(Decision, bool)>,
+    wake_recomputes: u64,
+    wake_shortcuts: u64,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -138,7 +158,7 @@ impl std::fmt::Debug for MemoryController {
             .field("cfg", &self.cfg)
             .field("reads", &self.reads.len())
             .field("writes", &self.writes.len())
-            .field("vrrq", &self.vrrq.len())
+            .field("vrrq", &self.pending_vrrs())
             .field("stats", &self.stats)
             .finish()
     }
@@ -151,18 +171,24 @@ impl MemoryController {
     }
 
     /// A controller with a controller-side mitigation mechanism attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry exceeds [`crate::queue::MAX_BANKS`] flat
+    /// banks (the scheduler's bank bitsets are fixed-width).
     pub fn with_mitigation(
         cfg: CtrlConfig,
         dram: &DramDevice,
         mitigation: Box<dyn CtrlMitigation>,
     ) -> Self {
-        let geo = dram.geometry();
+        let geo = *dram.geometry();
         let refi = dram.timings().refi;
         Self {
             cfg,
-            reads: Vec::with_capacity(cfg.read_q),
-            writes: Vec::with_capacity(cfg.write_q),
+            reads: RequestQueue::new(geo),
+            writes: RequestQueue::new(geo),
             vrrq: VecDeque::new(),
+            vrr_tombstones: 0,
             completions: BinaryHeap::new(),
             fsm: (0..geo.ranks)
                 .map(|_| BackOffFsm::new(cfg.rfm_policy))
@@ -175,6 +201,11 @@ impl MemoryController {
             drain_mode: false,
             actions_buf: Vec::new(),
             stats: CtrlStats::default(),
+            wake_cache: 0,
+            wake_dirty: true,
+            wake_decision: None,
+            wake_recomputes: 0,
+            wake_shortcuts: 0,
         }
     }
 
@@ -193,9 +224,10 @@ impl MemoryController {
             return false;
         }
         match req.kind {
-            ReqKind::Read => self.reads.push(Entry::new(req)),
-            ReqKind::Write => self.writes.push(Entry::new(req)),
-        }
+            ReqKind::Read => self.reads.push(req),
+            ReqKind::Write => self.writes.push(req),
+        };
+        self.wake_dirty = true;
         true
     }
 
@@ -218,7 +250,7 @@ impl MemoryController {
 
     /// Outstanding victim refreshes.
     pub fn pending_vrrs(&self) -> usize {
-        self.vrrq.len()
+        self.vrrq.len() - self.vrr_tombstones
     }
 
     /// Reads still waiting for data.
@@ -254,77 +286,203 @@ impl MemoryController {
         self.completions.peek().map(|PendingCompletion(c)| c.at)
     }
 
-    /// The earliest cycle strictly after `now` at which
-    /// [`MemoryController::tick`] could change any state, assuming no new
-    /// requests arrive in the meantime. Called right after a tick; the
-    /// simulation loop may skip every cycle before the returned one.
+    /// How many times [`MemoryController::next_wake`] actually recomputed
+    /// its verdict (as opposed to serving the memoized one). Exposed for
+    /// the cache-invalidation tests.
+    pub fn wake_recomputes(&self) -> u64 {
+        self.wake_recomputes
+    }
+
+    /// How many ticks issued straight from the fused-scan verdict without
+    /// re-scanning the queues (see [`MemoryController::next_wake`]).
+    pub fn wake_shortcuts(&self) -> u64 {
+        self.wake_shortcuts
+    }
+
+    /// The exact first cycle strictly after `now` at which
+    /// [`MemoryController::tick`] could act, assuming no new requests
+    /// arrive in the meantime. Called right after a tick; the simulation
+    /// loop may skip every cycle before the returned one.
     ///
-    /// The analysis is deliberately conservative: whenever the controller
-    /// holds queued work, is mid-back-off, or owes a refresh, it reports
-    /// `now + 1` (tick every cycle). Only provably inert states — empty
-    /// queues, all FSMs quiescent — fast-forward to the next timed event
-    /// (refresh due, back-off window deadline, or alert visibility).
-    pub fn next_wake(&self, dram: &DramDevice, now: Cycle) -> Cycle {
-        // Queued demand, victim refreshes, or an active recovery: the
-        // controller arbitrates every cycle.
-        if !self.reads.is_empty() || !self.writes.is_empty() || !self.vrrq.is_empty() {
-            return now + 1;
+    /// The verdict is the min over every action the tick priority ladder
+    /// could take — back-off window deadlines and visible-alert times,
+    /// refresh due times, recovery / urgent-refresh / RAA-hot / idle-rank
+    /// refresh service (`PREab` → `REFab`/`RFMab`), the first eight
+    /// pending VRRs, and both demand queues' per-bank candidates via
+    /// [`scheduler::next_demand_event`] — each at its
+    /// [`DramDevice::earliest_issue_at`]. Every quantity consulted only
+    /// changes when a command issues, a request arrives, or one of the
+    /// included timers fires, so the result is memoized behind a dirty
+    /// flag set on issue/arrival and reused until `now` catches up to it.
+    ///
+    /// When the wake is decided *strictly* by a demand candidate (every
+    /// refresh/back-off/VRR source is later), the fused scan also caches
+    /// the exact [`Decision`] the scheduler will take at the wake cycle, so
+    /// the tick there skips its own queue scan
+    /// ([`MemoryController::tick`]'s step 6 applies the cached verdict
+    /// directly). The same dirty discipline guards it: any issue or
+    /// arrival invalidates, and the verdict is only honoured at exactly
+    /// the cached cycle.
+    pub fn next_wake(&mut self, dram: &DramDevice, now: Cycle) -> Cycle {
+        if !self.wake_dirty && self.wake_cache > now {
+            return self.wake_cache;
         }
-        if self.fsm.iter().any(BackOffFsm::in_recovery) {
-            return now + 1;
+        self.wake_recomputes += 1;
+        let (wake, decision) = self.compute_wake(dram, now);
+        self.wake_cache = wake;
+        self.wake_decision = decision;
+        self.wake_dirty = false;
+        wake
+    }
+
+    /// Earliest cycle at which `rank` could take its next refresh-service
+    /// step: `PREab` while any bank is open, otherwise `REFab`/`RFMab`
+    /// (both gated by the same all-idle ACT frontier).
+    fn rank_service_ready(dram: &DramDevice, rank: usize) -> Cycle {
+        if dram.rank_all_idle(rank) {
+            dram.refresh_ready_at(rank)
+        } else {
+            dram.preall_ready_at(rank)
         }
-        // PRFM: a bank at/above the RAA threshold forces RFM service.
-        if let Some(th) = self.cfg.raa_threshold {
-            if self.raa.iter().any(|&c| c >= th) {
-                return now + 1;
-            }
-        }
+    }
+
+    fn compute_wake(&self, dram: &DramDevice, now: Cycle) -> (Cycle, Option<(Decision, bool)>) {
+        let ranks = dram.geometry().ranks;
+        // Wake sources from the ladder's steps 1–5 (timers, refresh/RFM
+        // service, VRRs). Demand is folded in afterwards so that a wake
+        // decided strictly by demand can carry its scheduling verdict.
         let mut wake = Cycle::MAX;
-        for (r, engine) in self.refresh.iter().enumerate() {
-            if engine.pending() {
-                // A refresh is owed: the next action is a PREab (open
-                // banks) or the REFab itself (all idle). Never jump past
-                // the first cycle either becomes legal.
-                let ready = if dram.rank_all_idle(r) {
-                    dram.refresh_ready_at(r)
-                } else {
-                    dram.preall_ready_at(r)
-                };
-                wake = wake.min(ready.max(now + 1));
-            } else {
-                wake = wake.min(engine.next_due());
-            }
-        }
-        for (r, fsm) in self.fsm.iter().enumerate() {
+        for r in 0..ranks {
+            let engine = &self.refresh[r];
+            // A REF becoming due can flip the pending/urgent verdicts.
+            wake = wake.min(engine.next_due());
+            let fsm = &self.fsm[r];
             match fsm.state {
-                crate::rfm::BackOffState::Window { deadline } => {
-                    wake = wake.min(deadline);
-                }
+                BackOffState::Window { deadline } => wake = wake.min(deadline),
                 // A latched alert matters once visible (and honoured).
-                crate::rfm::BackOffState::Normal if fsm.policy().honours_alert() => {
+                BackOffState::Normal if fsm.policy().honours_alert() => {
                     if let Some(at) = dram.alert_latched_at(r) {
                         wake = wake.min(at);
                     }
                 }
-                // Recovery is handled above; Delay only advances on demand
-                // activations, which cannot happen while queues are empty.
+                // Delay only advances on demand activations, which are
+                // issues (they invalidate the cache themselves).
                 _ => {}
             }
+            if fsm.in_recovery() {
+                // Only recovery PREab/RFMab may touch this rank; demand and
+                // VRR scans below skip it.
+                wake = wake.min(Self::rank_service_ready(dram, r));
+                continue;
+            }
+            if engine.urgent() {
+                wake = wake.min(Self::rank_service_ready(dram, r));
+            }
+            if self.cfg.raa_threshold.is_some() && self.raa_hot[r] {
+                wake = wake.min(Self::rank_service_ready(dram, r));
+            }
+            if engine.pending() && self.reads.rank_len(r) + self.writes.rank_len(r) == 0 {
+                // Opportunistic refresh: due, and the rank has no demand.
+                wake = wake.min(Self::rank_service_ready(dram, r));
+            }
         }
-        wake.max(now + 1)
+        // The first eight live VRRs (the tick's service window).
+        let mut considered = 0;
+        for v in &self.vrrq {
+            let Some(v) = v else { continue };
+            if considered >= 8 {
+                break;
+            }
+            considered += 1;
+            if self.fsm[v.bank.rank as usize].in_recovery() {
+                continue;
+            }
+            let cmd = if dram.open_row(v.bank).is_some() {
+                Command::Pre { bank: v.bank }
+            } else {
+                Command::Vrr {
+                    bank: v.bank,
+                    row: v.row,
+                }
+            };
+            wake = wake.min(dram.earliest_issue_at(&cmd, now));
+        }
+        // Demand: the preferred queue falls through to the other one, so
+        // any issuable candidate in either queue makes the tick act. The
+        // preference must be the one the *wake-cycle* tick will compute:
+        // its `update_drain_mode` sees today's queue lengths (they only
+        // move on arrivals and issues, which invalidate this result), so
+        // apply the same hysteresis to them here.
+        let fsm = &self.fsm;
+        let raa_hot = &self.raa_hot;
+        let rank_usable = |r: usize| !fsm[r].in_recovery() && !raa_hot[r];
+        let drain_at_wake = if self.drain_mode {
+            self.writes.len() > self.cfg.wr_low
+        } else {
+            self.writes.len() >= self.cfg.wr_high
+        };
+        let serve_writes = drain_at_wake || self.reads.is_empty();
+        let (preferred, other) = if serve_writes {
+            (&self.writes, &self.reads)
+        } else {
+            (&self.reads, &self.writes)
+        };
+        let (t_p, d_p) = scheduler::next_demand_event(
+            preferred,
+            dram,
+            now,
+            self.cfg.cap,
+            &self.hit_streak,
+            &rank_usable,
+        );
+        // When the preferred queue already acts at the earliest possible
+        // cycle (`now + 1`), the other queue cannot beat it — ties go to
+        // the preferred queue — so its scan is skipped entirely.
+        let (t_o, d_o) = if t_p <= now + 1 {
+            (Cycle::MAX, None)
+        } else {
+            scheduler::next_demand_event(
+                other,
+                dram,
+                now,
+                self.cfg.cap,
+                &self.hit_streak,
+                &rank_usable,
+            )
+        };
+        // On a tie the tick consults the preferred queue first.
+        let (t_d, d_d) = if t_p <= t_o {
+            (t_p, d_p.map(|d| (d, serve_writes)))
+        } else {
+            (t_o, d_o.map(|d| (d, !serve_writes)))
+        };
+        // The verdict is only usable when demand strictly decides the
+        // wake: on a tie with any step-1..5 source that step acts first.
+        let decision = if t_d < wake { d_d } else { None };
+        (wake.min(t_d).max(now + 1), decision)
     }
 
     /// Advances the controller by one memory cycle, issuing at most one
     /// command to the device.
     pub fn tick(&mut self, dram: &mut DramDevice, now: Cycle) {
+        if self.tick_inner(dram, now) {
+            self.wake_dirty = true;
+        }
+    }
+
+    /// The tick body; returns `true` when any wake-relevant state changed
+    /// (a command issued, a timer fired, or an alert was honoured).
+    fn tick_inner(&mut self, dram: &mut DramDevice, now: Cycle) -> bool {
         let t = *dram.timings();
         let ranks = dram.geometry().ranks;
+        let mut changed = false;
         for r in 0..ranks {
-            self.refresh[r].tick(now);
-            self.fsm[r].tick(now);
+            changed |= self.refresh[r].tick(now);
+            changed |= self.fsm[r].tick(now);
             if dram.alert_visible(r, now) && self.fsm[r].on_alert(now, t.aboact) {
                 self.stats.back_offs += 1;
                 dram.clear_alert(r);
+                changed = true;
             }
         }
 
@@ -337,7 +495,7 @@ impl MemoryController {
                 let cmd = Command::PreAll { rank: r };
                 if dram.can_issue(&cmd, now) {
                     dram.issue(&cmd, now);
-                    return;
+                    return true;
                 }
                 // Wait for tRAS etc.; nothing else may touch this rank.
                 continue;
@@ -350,7 +508,7 @@ impl MemoryController {
                 if self.fsm[r].on_recovery_rfm(still) {
                     dram.clear_alert(r);
                 }
-                return;
+                return true;
             }
             // RFM blocked (previous RFM/REF in flight): hold the rank.
         }
@@ -361,7 +519,7 @@ impl MemoryController {
                 continue;
             }
             if self.try_refresh(dram, r, now) {
-                return;
+                return true;
             }
         }
 
@@ -370,11 +528,6 @@ impl MemoryController {
         // banks drain, precharge, and the RFM can issue.
         if let Some(th) = self.cfg.raa_threshold {
             for r in 0..ranks {
-                let base = r * dram.geometry().banks_per_rank();
-                self.raa_hot[r] =
-                    (0..dram.geometry().banks_per_rank()).any(|i| self.raa[base + i] >= th);
-            }
-            for r in 0..ranks {
                 if self.fsm[r].in_recovery() || !self.raa_hot[r] {
                     continue;
                 }
@@ -382,7 +535,7 @@ impl MemoryController {
                     let cmd = Command::PreAll { rank: r };
                     if dram.can_issue(&cmd, now) {
                         dram.issue(&cmd, now);
-                        return;
+                        return true;
                     }
                     continue;
                 }
@@ -397,7 +550,7 @@ impl MemoryController {
                     }
                     self.raa_hot[r] =
                         (0..dram.geometry().banks_per_rank()).any(|i| self.raa[base + i] >= th);
-                    return;
+                    return true;
                 }
             }
         }
@@ -407,26 +560,30 @@ impl MemoryController {
             if !self.refresh[r].pending() || self.fsm[r].in_recovery() {
                 continue;
             }
-            let rank_busy = self
-                .reads
-                .iter()
-                .chain(self.writes.iter())
-                .any(|e| e.req.addr.bank.rank as usize == r);
-            if rank_busy {
+            if self.reads.rank_len(r) + self.writes.rank_len(r) > 0 {
                 continue;
             }
             if self.try_refresh(dram, r, now) {
-                return;
+                return true;
             }
         }
 
-        // 5. Victim-row refreshes (strict priority over demand).
-        for i in 0..self.vrrq.len().min(8) {
-            let PendingVrr {
+        // 5. Victim-row refreshes (strict priority over demand): the first
+        // eight live entries, oldest first (tombstones are invisible).
+        let mut considered = 0;
+        let mut idx = 0;
+        while idx < self.vrrq.len() && considered < 8 {
+            let Some(PendingVrr {
                 bank,
                 row,
                 completes_service_of,
-            } = self.vrrq[i];
+            }) = self.vrrq[idx]
+            else {
+                idx += 1;
+                continue;
+            };
+            considered += 1;
+            idx += 1;
             if self.fsm[bank.rank as usize].in_recovery() {
                 continue;
             }
@@ -435,29 +592,43 @@ impl MemoryController {
                 if dram.can_issue(&cmd, now) {
                     dram.issue(&cmd, now);
                     self.hit_streak[bank.flat(dram.geometry())] = 0;
-                    return;
+                    return true;
                 }
                 continue;
             }
             let cmd = Command::Vrr { bank, row };
             if dram.can_issue(&cmd, now) {
                 dram.issue(&cmd, now);
-                self.vrrq.remove(i);
+                self.vrrq[idx - 1] = None;
+                self.vrr_tombstones += 1;
+                self.vrr_compact();
                 self.stats.vrrs_issued += 1;
                 if let Some(aggressor) = completes_service_of {
                     dram.note_aggressor_serviced(bank, aggressor);
                 }
-                return;
+                return true;
             }
         }
 
         // 6. Demand traffic under FR-FCFS+Cap with write draining.
         self.update_drain_mode();
+        // Fused-scan fast path: `compute_wake` already decided what this
+        // exact cycle's demand verdict is, and nothing invalidated it (no
+        // issue or arrival since — both set `wake_dirty`). Steps 1–5 above
+        // were all enumerated as strictly-later wake sources, so they
+        // cannot have acted; skip the queue scans and apply the verdict.
+        if !self.wake_dirty && now == self.wake_cache {
+            if let Some((decision, is_write_queue)) = self.wake_decision.take() {
+                self.wake_shortcuts += 1;
+                self.apply(decision, is_write_queue, dram, now);
+                return true;
+            }
+        }
         let serve_writes = self.drain_mode || self.reads.is_empty();
         let fsm = &self.fsm;
         let raa_hot = &self.raa_hot;
         let rank_usable = |r: usize| !fsm[r].in_recovery() && !raa_hot[r];
-        let queue: &Vec<Entry> = if serve_writes {
+        let queue = if serve_writes {
             &self.writes
         } else {
             &self.reads
@@ -472,7 +643,7 @@ impl MemoryController {
         );
         let Some(decision) = decision else {
             // Nothing issuable in the preferred queue; try the other one.
-            let other: &Vec<Entry> = if serve_writes {
+            let other = if serve_writes {
                 &self.reads
             } else {
                 &self.writes
@@ -485,12 +656,27 @@ impl MemoryController {
                 &self.hit_streak,
                 &rank_usable,
             ) else {
-                return;
+                return changed;
             };
             self.apply(decision, !serve_writes, dram, now);
-            return;
+            return true;
         };
         self.apply(decision, serve_writes, dram, now);
+        true
+    }
+
+    /// Drops leading tombstones and, past a threshold, compacts the VRR
+    /// queue in one order-preserving sweep.
+    fn vrr_compact(&mut self) {
+        while matches!(self.vrrq.front(), Some(None)) {
+            self.vrrq.pop_front();
+            self.vrr_tombstones -= 1;
+        }
+        if self.vrr_tombstones > VRR_COMPACT_THRESHOLD && self.vrr_tombstones * 2 > self.vrrq.len()
+        {
+            self.vrrq.retain(Option::is_some);
+            self.vrr_tombstones = 0;
+        }
     }
 
     fn try_refresh(&mut self, dram: &mut DramDevice, rank: usize, now: Cycle) -> bool {
@@ -530,14 +716,14 @@ impl MemoryController {
     ) {
         let t = *dram.timings();
         let geo = *dram.geometry();
+        let queue = if is_write_queue {
+            &mut self.writes
+        } else {
+            &mut self.reads
+        };
         match decision {
-            Decision::Cas(i, bypass) => {
-                let queue = if is_write_queue {
-                    &mut self.writes
-                } else {
-                    &mut self.reads
-                };
-                let entry = queue.remove(i);
+            Decision::Cas(slot, bypass) => {
+                let entry = queue.remove(slot);
                 let cmd = entry.cas_command();
                 dram.issue(&cmd, now);
                 let flat = entry.req.addr.bank.flat(&geo);
@@ -572,14 +758,9 @@ impl MemoryController {
                     }
                 }
             }
-            Decision::Act(i) => {
-                let queue = if is_write_queue {
-                    &mut self.writes
-                } else {
-                    &mut self.reads
-                };
-                let addr = queue[i].req.addr;
-                queue[i].caused_act = true;
+            Decision::Act(slot) => {
+                let addr = queue.get(slot).req.addr;
+                queue.get_mut(slot).caused_act = true;
                 let cmd = Command::Act {
                     bank: addr.bank,
                     row: addr.row,
@@ -589,14 +770,9 @@ impl MemoryController {
                 self.hit_streak[flat] = 0;
                 self.on_demand_activate(addr, now, dram);
             }
-            Decision::Pre(i) => {
-                let queue = if is_write_queue {
-                    &mut self.writes
-                } else {
-                    &mut self.reads
-                };
-                let bank = queue[i].req.addr.bank;
-                queue[i].caused_pre = true;
+            Decision::Pre(slot) => {
+                let bank = queue.get(slot).req.addr.bank;
+                queue.get_mut(slot).caused_pre = true;
                 let cmd = Command::Pre { bank };
                 dram.issue(&cmd, now);
                 self.hit_streak[bank.flat(&geo)] = 0;
@@ -619,9 +795,12 @@ impl MemoryController {
             // next threshold crossing.
             dram.clear_alert(rank);
         }
-        if self.cfg.raa_threshold.is_some() {
+        if let Some(th) = self.cfg.raa_threshold {
             let flat = addr.bank.flat(dram.geometry());
             self.raa[flat] = self.raa[flat].saturating_add(1);
+            if self.raa[flat] >= th {
+                self.raa_hot[rank] = true;
+            }
         }
         self.actions_buf.clear();
         self.mitigation
@@ -634,39 +813,39 @@ impl MemoryController {
                     let victims = chronus_dram::geometry::victims_of(aggressor, blast, rows);
                     let last = victims.len().saturating_sub(1);
                     for (vi, v) in victims.into_iter().enumerate() {
-                        self.vrrq.push_back(PendingVrr {
+                        self.vrrq.push_back(Some(PendingVrr {
                             bank,
                             row: v,
                             completes_service_of: (vi == last).then_some(aggressor),
-                        });
+                        }));
                     }
                     debug_assert!(self.vrrq.len() < 1 << 20, "runaway VRR queue");
                 }
                 MitigationAction::RefreshRow { bank, row } => {
-                    self.vrrq.push_back(PendingVrr {
+                    self.vrrq.push_back(Some(PendingVrr {
                         bank,
                         row,
                         completes_service_of: None,
-                    });
+                    }));
                     debug_assert!(self.vrrq.len() < 1 << 20, "runaway VRR queue");
                 }
                 MitigationAction::AuxRead { addr } => {
-                    self.reads.push(Entry::new(MemRequest {
+                    self.reads.push(MemRequest {
                         id: u64::MAX,
                         kind: ReqKind::Read,
                         addr,
                         core: INTERNAL_CORE,
                         arrived: now,
-                    }));
+                    });
                 }
                 MitigationAction::AuxWrite { addr } => {
-                    self.writes.push(Entry::new(MemRequest {
+                    self.writes.push(MemRequest {
                         id: u64::MAX,
                         kind: ReqKind::Write,
                         addr,
                         core: INTERNAL_CORE,
                         arrived: now,
-                    }));
+                    });
                 }
             }
         }
@@ -802,5 +981,111 @@ mod tests {
         assert!(!ctrl.can_accept(ReqKind::Read));
         assert!(!ctrl.push_request(read_req(99, B0, 0, 0, 0)));
         assert!(ctrl.can_accept(ReqKind::Write));
+    }
+
+    #[test]
+    fn wake_cache_memoizes_and_invalidates() {
+        let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+        // First call computes (idle controller: wake is the refresh due).
+        let w1 = ctrl.next_wake(&dram, 0);
+        assert_eq!(ctrl.wake_recomputes(), 1);
+        assert_eq!(w1, dram.timings().refi);
+        // Later calls before the wake are served from the cache.
+        let w2 = ctrl.next_wake(&dram, 5);
+        assert_eq!(w2, w1);
+        assert_eq!(ctrl.wake_recomputes(), 1);
+        // An inert tick (no issue, no timer) keeps the cache valid.
+        ctrl.tick(&mut dram, 6);
+        assert_eq!(ctrl.next_wake(&dram, 6), w1);
+        assert_eq!(ctrl.wake_recomputes(), 1);
+        // An arrival invalidates.
+        assert!(ctrl.push_request(read_req(1, B0, 10, 0, 7)));
+        let w3 = ctrl.next_wake(&dram, 7);
+        assert_eq!(ctrl.wake_recomputes(), 2);
+        assert_eq!(w3, 8, "idle bank: the ACT is issuable next cycle");
+        // An issuing tick invalidates.
+        ctrl.tick(&mut dram, 8); // issues the ACT
+        let w4 = ctrl.next_wake(&dram, 8);
+        assert_eq!(ctrl.wake_recomputes(), 3);
+        assert_eq!(w4, 8 + dram.timings().rcd, "next action is the RD");
+        // And the fresh verdict memoizes again.
+        let _ = ctrl.next_wake(&dram, 9);
+        assert_eq!(ctrl.wake_recomputes(), 3);
+        // Reaching the cached wake forces a recompute even without dirt.
+        let _ = ctrl.next_wake(&dram, w4);
+        assert_eq!(ctrl.wake_recomputes(), 4);
+    }
+
+    #[test]
+    fn wake_is_exact_under_load() {
+        // The wake must be the exact cycle the next command issues: every
+        // cycle before it must be a no-op tick.
+        let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+        assert!(ctrl.push_request(read_req(1, B0, 10, 0, 0)));
+        assert!(ctrl.push_request(read_req(2, B0, 11, 0, 0)));
+        let mut now = 0;
+        let mut issued = 0;
+        while ctrl.pending_requests() > 0 && now < 2_000 {
+            let before = {
+                let s = dram.stats();
+                s.acts + s.pres + s.reads + s.writes + s.refs
+            };
+            ctrl.tick(&mut dram, now);
+            let after = {
+                let s = dram.stats();
+                s.acts + s.pres + s.reads + s.writes + s.refs
+            };
+            let wake = ctrl.next_wake(&dram, now);
+            assert!(wake > now);
+            if after > before {
+                issued += 1;
+            }
+            // Every skipped cycle must be inert in the reference ticking.
+            for c in now + 1..wake {
+                let pre = {
+                    let s = dram.stats();
+                    s.acts + s.pres + s.reads + s.writes + s.refs
+                };
+                ctrl.tick(&mut dram, c);
+                let post = {
+                    let s = dram.stats();
+                    s.acts + s.pres + s.reads + s.writes + s.refs
+                };
+                assert_eq!(pre, post, "cycle {c} acted before the wake {wake}");
+            }
+            now = wake;
+        }
+        assert_eq!(ctrl.pending_requests(), 0);
+        // ACT, RD, PRE, ACT, RD at minimum.
+        assert!(issued >= 5, "only {issued} commands issued");
+    }
+
+    #[test]
+    fn vrr_tombstones_preserve_order_and_counts() {
+        let (mut ctrl, _dram) = setup(RfmPolicy::None);
+        for i in 0..20u32 {
+            ctrl.vrrq.push_back(Some(PendingVrr {
+                bank: B0,
+                row: i,
+                completes_service_of: None,
+            }));
+        }
+        assert_eq!(ctrl.pending_vrrs(), 20);
+        // Tombstone a middle run the way issue does.
+        for i in 3..9 {
+            ctrl.vrrq[i] = None;
+            ctrl.vrr_tombstones += 1;
+            ctrl.vrr_compact();
+        }
+        assert_eq!(ctrl.pending_vrrs(), 14);
+        let live: Vec<u32> = ctrl.vrrq.iter().flatten().map(|v| v.row).collect();
+        let expect: Vec<u32> = (0..3).chain(9..20).collect();
+        assert_eq!(live, expect, "issue order preserved across tombstones");
+        // Tombstoning the head pops eagerly.
+        ctrl.vrrq[0] = None;
+        ctrl.vrr_tombstones += 1;
+        ctrl.vrr_compact();
+        assert!(ctrl.vrrq.front().unwrap().is_some());
+        assert_eq!(ctrl.pending_vrrs(), 13);
     }
 }

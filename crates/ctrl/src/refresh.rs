@@ -33,12 +33,15 @@ impl RefreshEngine {
         }
     }
 
-    /// Advances time; accumulates newly due refreshes.
-    pub fn tick(&mut self, now: Cycle) {
+    /// Advances time; accumulates newly due refreshes. Returns `true` when
+    /// the debt grew (a wake-relevant change: pending/urgent may flip).
+    pub fn tick(&mut self, now: Cycle) -> bool {
+        let before = self.due;
         while now >= self.next_due {
             self.due += 1;
             self.next_due += self.refi;
         }
+        self.due != before
     }
 
     /// A refresh is owed (may still be postponed if not urgent).

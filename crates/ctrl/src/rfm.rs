@@ -108,8 +108,9 @@ impl BackOffFsm {
         matches!(self.state, BackOffState::Recovery { .. })
     }
 
-    /// Advances `Window → Recovery` when the deadline passes.
-    pub fn tick(&mut self, now: Cycle) {
+    /// Advances `Window → Recovery` when the deadline passes. Returns
+    /// `true` on the transition (a wake-relevant change).
+    pub fn tick(&mut self, now: Cycle) -> bool {
         if let BackOffState::Window { deadline } = self.state {
             if now >= deadline {
                 let remaining = match self.policy {
@@ -118,8 +119,10 @@ impl BackOffFsm {
                     RfmPolicy::None => 0,
                 };
                 self.state = BackOffState::Recovery { remaining };
+                return true;
             }
         }
+        false
     }
 
     /// Records a recovery RFM. `still_needed` is the device's report of

@@ -4,9 +4,25 @@
 //! [Mutlu & Moscibroda, MICRO'07]): row-buffer hits may bypass older
 //! row-miss requests at most `cap` consecutive times per bank, bounding the
 //! starvation FR-FCFS inflicts on conflict-heavy threads.
+//!
+//! [`pick`] visits only banks that hold work (via
+//! [`RequestQueue::occupied_banks`]) and inspects at most two requests per
+//! bank. That suffices because within one bank the scheduler's verdict is
+//! decided by its *oldest* hit and *oldest* non-hit alone:
+//!
+//! * all hits to a bank share the same CAS timing and the same streak
+//!   counter, and the oldest hit has the weakest bypass condition, so no
+//!   younger hit can be admissible-and-issuable when the oldest is not;
+//! * all non-hits to a bank map to the same command (`PRE` if a row is
+//!   open, `ACT` — whose timing is row-independent — if idle), so the
+//!   oldest non-hit dominates.
+//!
+//! [`pick_reference`] retains the original two-pass scan over the flat
+//! age-ordered queue; a property test pins `pick` to it exactly.
 
 use chronus_dram::{Command, Cycle, DramDevice};
 
+use crate::queue::{BankSet, RequestQueue};
 use crate::request::{MemRequest, ReqKind};
 
 /// A queue entry plus scheduling bookkeeping.
@@ -18,15 +34,20 @@ pub struct Entry {
     pub caused_pre: bool,
     /// This request's service required an activation (row miss).
     pub caused_act: bool,
+    /// Arrival order within the queue (assigned by [`RequestQueue::push`];
+    /// lower is older).
+    pub seq: u64,
 }
 
 impl Entry {
-    /// Wraps a fresh request.
+    /// Wraps a fresh request (sequence number 0; [`RequestQueue::push`]
+    /// assigns real ones).
     pub fn new(req: MemRequest) -> Self {
         Self {
             req,
             caused_pre: false,
             caused_act: false,
+            seq: 0,
         }
     }
 
@@ -48,21 +69,55 @@ impl Entry {
 /// What the scheduler decided to issue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
-    /// Serve the request's column access (index into the queue). `bypass`
-    /// is true when an older non-hit request to the same bank was
+    /// Serve the request's column access (slot id into the queue).
+    /// `bypass` is true when an older non-hit request to the same bank was
     /// reordered past (counts toward the cap).
-    Cas(usize, bool),
+    Cas(u32, bool),
     /// Open the request's row.
-    Act(usize),
+    Act(u32),
     /// Close the conflicting row for this request.
-    Pre(usize),
+    Pre(u32),
+}
+
+/// The two per-bank candidates the scheduler's verdict depends on.
+struct BankFront {
+    /// Oldest row hit: `(seq, slot, bypass)`.
+    hit: Option<(u64, u32, bool)>,
+    /// Oldest non-hit: `(seq, slot)`.
+    other: Option<(u64, u32)>,
+}
+
+/// Scans one bank's age-ordered slot list for its oldest hit and oldest
+/// non-hit. Stops as soon as both are known.
+fn bank_front(queue: &RequestQueue, flat: usize, open: Option<u32>) -> BankFront {
+    let mut hit: Option<(u64, u32, bool)> = None;
+    let mut other: Option<(u64, u32)> = None;
+    for &slot in queue.bank_slots(flat) {
+        let e = queue.get(slot);
+        if open == Some(e.req.addr.row) {
+            if hit.is_none() {
+                hit = Some((e.seq, slot, other.is_some()));
+            }
+        } else if other.is_none() {
+            other = Some((e.seq, slot));
+        }
+        if hit.is_some() && other.is_some() {
+            break;
+        }
+    }
+    BankFront { hit, other }
 }
 
 /// Picks the next command for `queue` under FR-FCFS+Cap.
 ///
 /// `hit_streak` holds, per flat bank index, the number of consecutive
 /// row-hit bypasses since the last non-hit service; `rank_usable` filters
-/// out ranks in recovery. Queue order is age order (oldest first).
+/// out ranks in recovery (or RAA-blocked).
+///
+/// `queue` must hold requests of a single [`ReqKind`] (the controller
+/// keeps reads and writes in separate queues): the per-bank reduction
+/// relies on all row hits to a bank sharing one CAS timing frontier,
+/// which `Rd` and `Wr` do not.
 ///
 /// A row hit younger than a non-hit request to the same bank may be
 /// served only while the bank's bypass streak is below `cap` — in *both*
@@ -70,7 +125,185 @@ pub enum Decision {
 /// hit stream (the FR-FCFS+Cap guarantee of [Mutlu & Moscibroda,
 /// MICRO'07]).
 pub fn pick<F: Fn(usize) -> bool>(
-    queue: &[Entry],
+    queue: &RequestQueue,
+    dram: &DramDevice,
+    now: Cycle,
+    cap: u32,
+    hit_streak: &[u32],
+    rank_usable: &F,
+) -> Option<Decision> {
+    let write = match queue.head_kind() {
+        Some(k) => k == ReqKind::Write,
+        None => return None,
+    };
+    // Pass 1: oldest issuable row-hit, honouring the cap.
+    let mut best_hit: Option<(u64, u32, bool)> = None;
+    // Pass 2 fallback: oldest request whose PRE/ACT can make progress. A
+    // CAS can never win pass 2 when pass 1 came up empty (identical
+    // admissibility and timing checks), so only non-hits are candidates.
+    let mut best_other: Option<(u64, Decision)> = None;
+    // `occupied_banks` yields ascending flat ids, so banks of one rank are
+    // contiguous: the rank-level floors are computed once per rank and
+    // prune every candidate check in it to bank/group-level compares.
+    let mut cur_rank = usize::MAX;
+    let mut usable = false;
+    let mut cas_ok = false;
+    let mut act_floor = Cycle::MAX;
+    for flat in queue.occupied_banks() {
+        // Every entry filed under `flat` carries the same `BankId`; reading
+        // it back beats re-deriving it from the flat index (divisions).
+        let bank = queue.get(queue.bank_slots(flat)[0]).req.addr.bank;
+        let rank = bank.rank as usize;
+        if rank != cur_rank {
+            cur_rank = rank;
+            usable = rank_usable(rank);
+            if usable {
+                cas_ok = dram.rank_cas_floor(rank, write) <= now;
+                act_floor = dram.rank_act_floor(rank);
+            }
+        }
+        if !usable {
+            continue;
+        }
+        let group = bank.group as usize;
+        let open = dram.open_row(bank);
+        let front = bank_front(queue, flat, open);
+        if let Some((seq, slot, bypass)) = front.hit {
+            let admissible = !bypass || hit_streak[flat] < cap;
+            if admissible
+                && cas_ok
+                && best_hit.is_none_or(|(s, _, _)| seq < s)
+                && dram.group_cas_floor(rank, group, write) <= now
+                && dram.bank_cas_at(bank, write) <= now
+            {
+                best_hit = Some((seq, slot, bypass));
+            }
+        }
+        if let Some((seq, slot)) = front.other {
+            if best_other.as_ref().is_none_or(|&(s, _)| seq < s) {
+                let issuable_as = match open {
+                    Some(_) => (dram.bank_pre_at(bank) <= now).then_some(Decision::Pre(slot)),
+                    None => (act_floor <= now
+                        && dram.group_act_floor(rank, group) <= now
+                        && dram.bank_act_at(bank) <= now)
+                        .then_some(Decision::Act(slot)),
+                };
+                if let Some(decision) = issuable_as {
+                    best_other = Some((seq, decision));
+                }
+            }
+        }
+    }
+    if let Some((_, slot, bypass)) = best_hit {
+        return Some(Decision::Cas(slot, bypass));
+    }
+    best_other.map(|(_, d)| d)
+}
+
+/// The next demand-scheduling event for `queue`: the exact first cycle
+/// `t > now` at which [`pick`] would return `Some` (assuming no issues and
+/// no arrivals in the meantime), *and* the exact decision it would return
+/// at that cycle. Returns `(Cycle::MAX, None)` when no candidate exists.
+///
+/// One scan serves both the wake time and the verdict: each candidate's
+/// issuable time is its [`DramDevice::earliest_issue_at`] decomposed into
+/// rank-floor/group-floor/bank-frontier terms (the rank floor is fetched
+/// once per rank — `occupied_banks` yields ranks contiguously), clamped to
+/// `now + 1`. The winner at the wake cycle follows FR-FCFS+Cap exactly:
+/// the oldest admissible row hit ready by then beats every non-hit, hits
+/// beat non-hits that tie on time, and ties within a class go to the
+/// lowest sequence number — the same verdict `pick` reaches because at the
+/// wake cycle (the min over candidates) the issuable set is precisely the
+/// candidates whose clamped time equals it. Candidate admissibility (cap,
+/// bypass, rank filters) cannot change without an issue or arrival, which
+/// is what bounds the result's validity.
+pub fn next_demand_event<F: Fn(usize) -> bool>(
+    queue: &RequestQueue,
+    dram: &DramDevice,
+    now: Cycle,
+    cap: u32,
+    hit_streak: &[u32],
+    rank_usable: &F,
+) -> (Cycle, Option<Decision>) {
+    let write = match queue.head_kind() {
+        Some(k) => k == ReqKind::Write,
+        None => return (Cycle::MAX, None),
+    };
+    let at_least = now + 1;
+    // Oldest admissible hit achieving the earliest hit time.
+    let mut t_hit = Cycle::MAX;
+    let mut hit_best: Option<(u64, u32, bool)> = None;
+    // Oldest non-hit achieving the earliest non-hit time.
+    let mut t_oth = Cycle::MAX;
+    let mut oth_best: Option<(u64, Decision)> = None;
+    let mut cur_rank = usize::MAX;
+    let mut usable = false;
+    let mut cas_floor = 0;
+    let mut act_floor = 0;
+    for flat in queue.occupied_banks() {
+        // Every entry filed under `flat` carries the same `BankId`.
+        let bank = queue.get(queue.bank_slots(flat)[0]).req.addr.bank;
+        let rank = bank.rank as usize;
+        if rank != cur_rank {
+            cur_rank = rank;
+            usable = rank_usable(rank);
+            if usable {
+                cas_floor = dram.rank_cas_floor(rank, write);
+                act_floor = dram.rank_act_floor(rank);
+            }
+        }
+        if !usable {
+            continue;
+        }
+        let group = bank.group as usize;
+        let open = dram.open_row(bank);
+        let front = bank_front(queue, flat, open);
+        if let Some((seq, slot, bypass)) = front.hit {
+            if !bypass || hit_streak[flat] < cap {
+                let t = cas_floor
+                    .max(dram.group_cas_floor(rank, group, write))
+                    .max(dram.bank_cas_at(bank, write))
+                    .max(at_least);
+                if t < t_hit || (t == t_hit && hit_best.is_some_and(|(s, _, _)| seq < s)) {
+                    t_hit = t;
+                    hit_best = Some((seq, slot, bypass));
+                }
+            }
+        }
+        if let Some((seq, slot)) = front.other {
+            let (t, decision) = match open {
+                Some(_) => (dram.bank_pre_at(bank).max(at_least), Decision::Pre(slot)),
+                None => (
+                    act_floor
+                        .max(dram.group_act_floor(rank, group))
+                        .max(dram.bank_act_at(bank))
+                        .max(at_least),
+                    Decision::Act(slot),
+                ),
+            };
+            if t < t_oth || (t == t_oth && oth_best.as_ref().is_some_and(|&(s, _)| seq < s)) {
+                t_oth = t;
+                oth_best = Some((seq, decision));
+            }
+        }
+    }
+    // At the wake cycle any ready admissible hit wins pass 1, so hits beat
+    // non-hits on ties.
+    if t_hit <= t_oth {
+        match hit_best {
+            Some((_, slot, bypass)) => (t_hit, Some(Decision::Cas(slot, bypass))),
+            None => (Cycle::MAX, None),
+        }
+    } else {
+        (t_oth, oth_best.map(|(_, d)| d))
+    }
+}
+
+/// The original flat two-pass FR-FCFS+Cap scan, kept as the semantic
+/// reference for [`pick`] (property-tested against it). Operates on the
+/// same [`RequestQueue`] by materializing the age order from `seq`.
+pub fn pick_reference<F: Fn(usize) -> bool>(
+    queue: &RequestQueue,
     dram: &DramDevice,
     now: Cycle,
     cap: u32,
@@ -78,10 +311,11 @@ pub fn pick<F: Fn(usize) -> bool>(
     rank_usable: &F,
 ) -> Option<Decision> {
     let geo = *dram.geometry();
-    debug_assert!(geo.total_banks() <= 64);
+    let mut flat_queue: Vec<(u32, &Entry)> = queue.iter().collect();
+    flat_queue.sort_by_key(|(_, e)| e.seq);
     // Pass 1: oldest issuable row-hit, honouring the cap.
-    let mut non_hit_seen = 0u64; // banks with an older non-hit request
-    for (i, e) in queue.iter().enumerate() {
+    let mut non_hit_seen = BankSet::new(); // banks with an older non-hit
+    for &(slot, e) in &flat_queue {
         let bank = e.req.addr.bank;
         if !rank_usable(bank.rank as usize) {
             continue;
@@ -89,21 +323,21 @@ pub fn pick<F: Fn(usize) -> bool>(
         let flat = bank.flat(&geo);
         let is_hit = dram.open_row(bank) == Some(e.req.addr.row);
         if !is_hit {
-            non_hit_seen |= 1 << flat;
+            non_hit_seen.insert(flat);
             continue;
         }
-        let bypass = non_hit_seen & (1 << flat) != 0;
+        let bypass = non_hit_seen.contains(flat);
         if bypass && hit_streak[flat] >= cap {
             continue; // cap reached and an older miss waits
         }
         if dram.can_issue(&e.cas_command(), now) {
-            return Some(Decision::Cas(i, bypass));
+            return Some(Decision::Cas(slot, bypass));
         }
     }
     // Pass 2: oldest request that can make progress (FCFS), with the same
     // cap discipline on hits.
-    let mut non_hit_seen = 0u64;
-    for (i, e) in queue.iter().enumerate() {
+    let mut non_hit_seen = BankSet::new();
+    for &(slot, e) in &flat_queue {
         let bank = e.req.addr.bank;
         if !rank_usable(bank.rank as usize) {
             continue;
@@ -111,30 +345,30 @@ pub fn pick<F: Fn(usize) -> bool>(
         let flat = bank.flat(&geo);
         match dram.open_row(bank) {
             Some(row) if row == e.req.addr.row => {
-                let bypass = non_hit_seen & (1 << flat) != 0;
+                let bypass = non_hit_seen.contains(flat);
                 if bypass && hit_streak[flat] >= cap {
                     continue;
                 }
                 let cmd = e.cas_command();
                 if dram.can_issue(&cmd, now) {
-                    return Some(Decision::Cas(i, bypass));
+                    return Some(Decision::Cas(slot, bypass));
                 }
             }
             Some(_) => {
-                non_hit_seen |= 1 << flat;
+                non_hit_seen.insert(flat);
                 let cmd = Command::Pre { bank };
                 if dram.can_issue(&cmd, now) {
-                    return Some(Decision::Pre(i));
+                    return Some(Decision::Pre(slot));
                 }
             }
             None => {
-                non_hit_seen |= 1 << flat;
+                non_hit_seen.insert(flat);
                 let cmd = Command::Act {
                     bank,
                     row: e.req.addr.row,
                 };
                 if dram.can_issue(&cmd, now) {
-                    return Some(Decision::Act(i));
+                    return Some(Decision::Act(slot));
                 }
             }
         }
@@ -146,19 +380,28 @@ pub fn pick<F: Fn(usize) -> bool>(
 mod tests {
     use super::*;
     use chronus_dram::{BankId, DramAddr, DramConfig, DramDevice};
+    use proptest::prelude::*;
 
-    fn req(id: u64, bank: BankId, row: u32, col: u32) -> Entry {
-        Entry::new(MemRequest {
+    fn req(id: u64, bank: BankId, row: u32, col: u32) -> MemRequest {
+        MemRequest {
             id,
             kind: ReqKind::Read,
             addr: DramAddr::new(bank, row, col),
             core: 0,
             arrived: id,
-        })
+        }
     }
 
     fn dev() -> DramDevice {
         DramDevice::new(DramConfig::tiny())
+    }
+
+    fn queue_of(dram: &DramDevice, reqs: &[MemRequest]) -> RequestQueue {
+        let mut q = RequestQueue::new(*dram.geometry());
+        for r in reqs {
+            q.push(*r);
+        }
+        q
     }
 
     const B0: BankId = BankId::new(0, 0, 0);
@@ -170,25 +413,25 @@ mod tests {
         d.issue(&Command::Act { bank: B0, row: 5 }, 0);
         let now = t.rcd;
         // Older request conflicts (row 9), younger is a hit (row 5).
-        let queue = vec![req(0, B0, 9, 0), req(1, B0, 5, 0)];
+        let q = queue_of(&d, &[req(0, B0, 9, 0), req(1, B0, 5, 0)]);
         let streak = vec![0u32; d.geometry().total_banks()];
-        let pick1 = pick(&queue, &d, now, 4, &streak, &|_| true);
+        let pick1 = pick(&q, &d, now, 4, &streak, &|_| true);
         assert_eq!(pick1, Some(Decision::Cas(1, true)));
         // With the cap exhausted the older conflict wins (precharge).
         let mut capped = streak.clone();
         capped[B0.flat(d.geometry())] = 4;
         let now = t.ras.max(now);
-        let pick2 = pick(&queue, &d, now, 4, &capped, &|_| true);
+        let pick2 = pick(&q, &d, now, 4, &capped, &|_| true);
         assert_eq!(pick2, Some(Decision::Pre(0)));
     }
 
     #[test]
     fn idle_bank_gets_activate_for_oldest() {
         let d = dev();
-        let queue = vec![req(0, B0, 9, 0), req(1, B0, 5, 0)];
+        let q = queue_of(&d, &[req(0, B0, 9, 0), req(1, B0, 5, 0)]);
         let streak = vec![0u32; d.geometry().total_banks()];
         assert_eq!(
-            pick(&queue, &d, 0, 4, &streak, &|_| true),
+            pick(&q, &d, 0, 4, &streak, &|_| true),
             Some(Decision::Act(0))
         );
     }
@@ -196,9 +439,9 @@ mod tests {
     #[test]
     fn recovery_rank_is_skipped() {
         let d = dev();
-        let queue = vec![req(0, B0, 9, 0)];
+        let q = queue_of(&d, &[req(0, B0, 9, 0)]);
         let streak = vec![0u32; d.geometry().total_banks()];
-        assert_eq!(pick(&queue, &d, 0, 4, &streak, &|_| false), None);
+        assert_eq!(pick(&q, &d, 0, 4, &streak, &|_| false), None);
     }
 
     #[test]
@@ -207,15 +450,160 @@ mod tests {
         d.issue(&Command::Act { bank: B0, row: 5 }, 0);
         // Row 5 open, but tRCD not yet elapsed and row 9 cannot PRE before
         // tRAS: nothing issuable at cycle 1.
-        let queue = vec![req(0, B0, 9, 0), req(1, B0, 5, 0)];
+        let q = queue_of(&d, &[req(0, B0, 9, 0), req(1, B0, 5, 0)]);
         let streak = vec![0u32; d.geometry().total_banks()];
-        assert_eq!(pick(&queue, &d, 1, 4, &streak, &|_| true), None);
+        assert_eq!(pick(&q, &d, 1, 4, &streak, &|_| true), None);
     }
 
     #[test]
     fn empty_queue_yields_none() {
         let d = dev();
+        let q = RequestQueue::new(*d.geometry());
         let streak = vec![0u32; d.geometry().total_banks()];
-        assert_eq!(pick(&[], &d, 0, 4, &streak, &|_| true), None);
+        assert_eq!(pick(&q, &d, 0, 4, &streak, &|_| true), None);
+    }
+
+    #[test]
+    fn demand_event_is_the_exact_first_pick_cycle_and_verdict() {
+        let mut d = dev();
+        d.issue(&Command::Act { bank: B0, row: 5 }, 0);
+        // A hit gated by tRCD and a conflict gated by tRAS: the wake is the
+        // earlier of the two, and pick flips from None exactly there.
+        let q = queue_of(&d, &[req(0, B0, 9, 0), req(1, B0, 5, 0)]);
+        let streak = vec![0u32; d.geometry().total_banks()];
+        let (wake, predicted) = next_demand_event(&q, &d, 1, 4, &streak, &|_| true);
+        assert_eq!(wake, d.timings().rcd);
+        for t in 1..wake {
+            assert_eq!(pick(&q, &d, t, 4, &streak, &|_| true), None, "t={t}");
+        }
+        let at_wake = pick(&q, &d, wake, 4, &streak, &|_| true);
+        assert!(at_wake.is_some());
+        assert_eq!(at_wake, predicted, "fused scan must predict the verdict");
+    }
+
+    /// Applies `decision` the way the controller would, keeping the
+    /// hit-streak bookkeeping faithful.
+    fn apply_decision(
+        decision: Decision,
+        q: &mut RequestQueue,
+        d: &mut DramDevice,
+        streak: &mut [u32],
+        now: Cycle,
+    ) {
+        let geo = *d.geometry();
+        match decision {
+            Decision::Cas(slot, bypass) => {
+                let e = q.remove(slot);
+                d.issue(&e.cas_command(), now);
+                let flat = e.req.addr.bank.flat(&geo);
+                if bypass {
+                    streak[flat] += 1;
+                } else {
+                    streak[flat] = 0;
+                }
+            }
+            Decision::Act(slot) => {
+                let addr = q.get(slot).req.addr;
+                q.get_mut(slot).caused_act = true;
+                d.issue(
+                    &Command::Act {
+                        bank: addr.bank,
+                        row: addr.row,
+                    },
+                    now,
+                );
+                streak[addr.bank.flat(&geo)] = 0;
+            }
+            Decision::Pre(slot) => {
+                let bank = q.get(slot).req.addr.bank;
+                q.get_mut(slot).caused_pre = true;
+                d.issue(&Command::Pre { bank }, now);
+                streak[bank.flat(&geo)] = 0;
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // Drives randomized queue/device states and pins the per-bank
+        // `pick` to the flat two-pass `pick_reference` at every step —
+        // including the cycle-exactness and predicted verdict of
+        // `next_demand_event`.
+        #[test]
+        fn per_bank_pick_matches_flat_reference(seed: u64, cap in 1u32..6) {
+            let mut d = DramDevice::new(DramConfig::tiny());
+            let geo = *d.geometry();
+            let total = geo.total_banks() as u64;
+            let mut q = RequestQueue::new(geo);
+            let mut streak = vec![0u32; geo.total_banks()];
+            let mut now: Cycle = 0;
+            let mut state = seed | 1;
+            let mut rng = move |m: u64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) % m
+            };
+            // One kind per queue, as the controller guarantees (the
+            // per-bank reduction assumes a single CAS timing frontier).
+            let kind = if rng(2) == 0 { ReqKind::Read } else { ReqKind::Write };
+            for step in 0..160u64 {
+                if q.len() < 10 && rng(3) > 0 {
+                    let flat = rng(total) as usize;
+                    q.push(MemRequest {
+                        id: step,
+                        kind,
+                        addr: DramAddr::new(
+                            BankId::from_flat(flat, &geo),
+                            rng(6) as u32,
+                            rng(4) as u32,
+                        ),
+                        core: 0,
+                        arrived: now,
+                    });
+                }
+                let mask = rng(1 << geo.ranks.min(4));
+                let rank_usable = |r: usize| mask & (1 << r) != 0;
+                let fast = pick(&q, &d, now, cap, &streak, &rank_usable);
+                let reference = pick_reference(&q, &d, now, cap, &streak, &rank_usable);
+                prop_assert_eq!(fast, reference, "step {} now {}", step, now);
+                match fast {
+                    Some(decision) => {
+                        apply_decision(decision, &mut q, &mut d, &mut streak, now);
+                        now += 1 + rng(3);
+                    }
+                    None => {
+                        // Jump to the predicted wake and require that the
+                        // verdict was None on every skipped cycle and that
+                        // the predicted decision is the one pick takes.
+                        let (wake, predicted) =
+                            next_demand_event(&q, &d, now, cap, &streak, &rank_usable);
+                        if wake == Cycle::MAX {
+                            prop_assert!(predicted.is_none());
+                            now += 1 + rng(8);
+                        } else {
+                            for t in now..wake {
+                                prop_assert_eq!(
+                                    pick(&q, &d, t, cap, &streak, &rank_usable),
+                                    None,
+                                    "skipped cycle {} acted", t
+                                );
+                            }
+                            now = wake;
+                            let at_wake = pick(&q, &d, now, cap, &streak, &rank_usable);
+                            prop_assert!(
+                                at_wake.is_some(),
+                                "wake cycle {} must act", now
+                            );
+                            prop_assert_eq!(
+                                at_wake, predicted,
+                                "wake cycle {} verdict must match prediction", now
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -129,6 +129,7 @@ impl DramDevice {
         &self.cfg
     }
 
+    #[inline]
     fn bank(&self, id: BankId) -> &Bank {
         let g = &self.cfg.geometry;
         &self.ranks[id.rank as usize].banks
@@ -142,6 +143,7 @@ impl DramDevice {
     }
 
     /// The open row of `bank`, if any.
+    #[inline]
     pub fn open_row(&self, bank: BankId) -> Option<RowId> {
         self.bank(bank).open_row()
     }
@@ -191,6 +193,81 @@ impl DramDevice {
             .max()
             .unwrap_or(0);
         r.blocked_until.max(open_ready)
+    }
+
+    /// Rank- and channel-level CAS frontier for `rank`: the earliest cycle
+    /// at which *any* `Rd` (`write == false`) or `Wr` (`write == true`) to
+    /// the rank could issue, ignoring bank-group and bank frontiers. The
+    /// full per-candidate time decomposes as
+    /// `max(rank_cas_floor, group_cas_floor, bank_cas_at)` — schedulers use
+    /// the shared floors to prune whole ranks and to compute min-over-banks
+    /// wake times without per-candidate command dispatch.
+    #[inline]
+    pub fn rank_cas_floor(&self, rank: usize, write: bool) -> Cycle {
+        let r = &self.ranks[rank];
+        if write {
+            r.blocked_until.max(r.next_wr_any).max(self.next_wr)
+        } else {
+            r.blocked_until.max(r.next_rd_any).max(self.next_rd)
+        }
+    }
+
+    /// Bank-group-level CAS frontier (see [`DramDevice::rank_cas_floor`]).
+    #[inline]
+    pub fn group_cas_floor(&self, rank: usize, group: usize, write: bool) -> Cycle {
+        let r = &self.ranks[rank];
+        if write {
+            r.next_wr_group[group]
+        } else {
+            r.next_rd_group[group]
+        }
+    }
+
+    /// Bank-level CAS frontier: the bank's own `tCCD`/`tRCD`-driven term of
+    /// the CAS decomposition. Callers are responsible for the structural
+    /// check (the bank must hold the target row open).
+    #[inline]
+    pub fn bank_cas_at(&self, bank: BankId, write: bool) -> Cycle {
+        let b = self.bank(bank);
+        if write {
+            b.next_wr
+        } else {
+            b.next_rd
+        }
+    }
+
+    /// Rank-level ACT frontier: rank block, `tRRD_S`, and `tFAW`. The full
+    /// per-candidate time is `max(rank_act_floor, group_act_floor,
+    /// bank_act_at)` for an idle bank.
+    #[inline]
+    pub fn rank_act_floor(&self, rank: usize) -> Cycle {
+        let r = &self.ranks[rank];
+        r.blocked_until
+            .max(r.next_act_any)
+            .max(r.faw_ready_at(self.cfg.timings.faw))
+    }
+
+    /// Bank-group-level ACT frontier (`tRRD_L`).
+    #[inline]
+    pub fn group_act_floor(&self, rank: usize, group: usize) -> Cycle {
+        self.ranks[rank].next_act_group[group]
+    }
+
+    /// Bank-level ACT frontier (`tRC`/`tRP`-driven). Callers are
+    /// responsible for the structural check (the bank must be idle).
+    #[inline]
+    pub fn bank_act_at(&self, bank: BankId) -> Cycle {
+        self.bank(bank).next_act
+    }
+
+    /// Complete `PRE` issuable time for `bank` (rank block joined with the
+    /// bank's `tRAS`/`tRTP`/`tWR` frontier). Callers are responsible for
+    /// the structural check (the bank must hold a row open).
+    #[inline]
+    pub fn bank_pre_at(&self, bank: BankId) -> Cycle {
+        self.ranks[bank.rank as usize]
+            .blocked_until
+            .max(self.bank(bank).next_pre)
     }
 
     /// Clears the rank's back-off latch (controller acknowledgement).
@@ -310,6 +387,60 @@ impl DramDevice {
                 now >= r.blocked_until && r.all_idle() && r.banks.iter().all(|b| now >= b.next_act)
             }
         }
+    }
+
+    /// The exact first cycle at or after `now` at which
+    /// [`DramDevice::can_issue`] would accept `cmd`, assuming no further
+    /// commands are issued in the meantime, or `Cycle::MAX` when `cmd` is
+    /// structurally illegal in the current bank state (another command must
+    /// change that state first — e.g. `ACT` to an open bank).
+    ///
+    /// Contract (pinned by tests): for every `t >= now`,
+    /// `can_issue(cmd, t) == (t >= earliest_issue_at(cmd, now))`.
+    /// The event-driven controller uses this as its issuable-time cache:
+    /// every timing frontier consulted here only moves when a command
+    /// issues, so the result stays exact until the next issue or arrival.
+    pub fn earliest_issue_at(&self, cmd: &Command, now: Cycle) -> Cycle {
+        let ready = match *cmd {
+            Command::Act { bank, .. } | Command::Vrr { bank, .. } => {
+                if !self.bank(bank).is_idle() {
+                    return Cycle::MAX;
+                }
+                self.rank_act_floor(bank.rank as usize)
+                    .max(self.group_act_floor(bank.rank as usize, bank.group as usize))
+                    .max(self.bank_act_at(bank))
+            }
+            Command::Pre { bank } => {
+                if self.bank(bank).is_idle() {
+                    return Cycle::MAX;
+                }
+                self.bank_pre_at(bank)
+            }
+            Command::PreAll { rank } => self.preall_ready_at(rank),
+            Command::Rd { bank, .. } | Command::RdA { bank, .. } => {
+                if self.bank(bank).is_idle() {
+                    return Cycle::MAX;
+                }
+                self.rank_cas_floor(bank.rank as usize, false)
+                    .max(self.group_cas_floor(bank.rank as usize, bank.group as usize, false))
+                    .max(self.bank_cas_at(bank, false))
+            }
+            Command::Wr { bank, .. } | Command::WrA { bank, .. } => {
+                if self.bank(bank).is_idle() {
+                    return Cycle::MAX;
+                }
+                self.rank_cas_floor(bank.rank as usize, true)
+                    .max(self.group_cas_floor(bank.rank as usize, bank.group as usize, true))
+                    .max(self.bank_cas_at(bank, true))
+            }
+            Command::RefAll { rank } | Command::RfmAll { rank } => {
+                if !self.ranks[rank].all_idle() {
+                    return Cycle::MAX;
+                }
+                self.refresh_ready_at(rank)
+            }
+        };
+        ready.max(now)
     }
 
     /// Executes `cmd` at cycle `now`.
@@ -728,6 +859,112 @@ mod tests {
         d.issue(&Command::Act { bank: B0, row: 0 }, 0);
         // Reading before tRCD is illegal.
         d.issue(&Command::Rd { bank: B0, col: 0 }, 1);
+    }
+
+    /// Pins the `earliest_issue_at` contract against `can_issue` over a
+    /// window of cycles: legality must flip exactly at the reported cycle.
+    fn assert_earliest_exact(d: &DramDevice, cmd: &Command, now: Cycle, horizon: Cycle) {
+        let at = d.earliest_issue_at(cmd, now);
+        for t in now..now + horizon {
+            assert_eq!(
+                d.can_issue(cmd, t),
+                t >= at,
+                "{cmd} at t={t}: earliest_issue_at said {at}"
+            );
+        }
+    }
+
+    #[test]
+    fn earliest_issue_at_matches_can_issue_across_frontiers() {
+        let mut d = dev();
+        let t = *d.timings();
+        // Idle bank: ACT legal immediately, CAS/PRE structurally blocked.
+        assert_eq!(
+            d.earliest_issue_at(&Command::Act { bank: B0, row: 1 }, 0),
+            0
+        );
+        assert_eq!(
+            d.earliest_issue_at(&Command::Rd { bank: B0, col: 0 }, 0),
+            Cycle::MAX
+        );
+        assert_eq!(
+            d.earliest_issue_at(&Command::Pre { bank: B0 }, 0),
+            Cycle::MAX
+        );
+        d.issue(&Command::Act { bank: B0, row: 1 }, 0);
+        // Open bank: ACT structurally blocked, RD gated by tRCD, PRE by tRAS.
+        assert_eq!(
+            d.earliest_issue_at(&Command::Act { bank: B0, row: 2 }, 0),
+            Cycle::MAX
+        );
+        assert_earliest_exact(&d, &Command::Rd { bank: B0, col: 0 }, 1, t.rc + 8);
+        assert_earliest_exact(&d, &Command::Wr { bank: B0, col: 0 }, 1, t.rc + 8);
+        assert_earliest_exact(&d, &Command::Pre { bank: B0 }, 1, t.rc + 8);
+        // Sibling bank: ACT gated by tRRD_L.
+        assert_earliest_exact(&d, &Command::Act { bank: B1, row: 7 }, 1, t.rc + 8);
+        // After a read: PRE pushed to tRTP, CAS frontiers advanced.
+        d.issue(&Command::Rd { bank: B0, col: 0 }, t.rcd);
+        assert_earliest_exact(&d, &Command::Pre { bank: B0 }, t.rcd, t.rc + 8);
+        assert_earliest_exact(&d, &Command::Rd { bank: B0, col: 1 }, t.rcd, t.rc + 8);
+        // Write→read turnaround on the channel frontier.
+        d.issue(&Command::Act { bank: B1, row: 7 }, t.rrd_l.max(t.rcd + 1));
+        let wr_at = d.earliest_issue_at(&Command::Wr { bank: B1, col: 0 }, t.rcd + 2);
+        d.issue(&Command::Wr { bank: B1, col: 0 }, wr_at);
+        assert_earliest_exact(&d, &Command::Rd { bank: B0, col: 2 }, wr_at, t.rc + 64);
+    }
+
+    #[test]
+    fn earliest_issue_at_covers_rank_level_commands() {
+        let mut d = dev();
+        let t = *d.timings();
+        // All idle: REF/RFM legal now, PREab legal now (no open banks).
+        assert_eq!(d.earliest_issue_at(&Command::RefAll { rank: 0 }, 0), 0);
+        assert_eq!(d.earliest_issue_at(&Command::PreAll { rank: 0 }, 0), 0);
+        d.issue(&Command::Act { bank: B0, row: 1 }, 0);
+        // Open bank: REFab structurally blocked until precharged; PREab
+        // waits for the open bank's tRAS.
+        assert_eq!(
+            d.earliest_issue_at(&Command::RefAll { rank: 0 }, 1),
+            Cycle::MAX
+        );
+        assert_earliest_exact(&d, &Command::PreAll { rank: 0 }, 1, t.rc + 8);
+        d.issue(&Command::PreAll { rank: 0 }, t.ras);
+        // Idle again: REFab waits out tRP (bank next_act frontier).
+        assert_earliest_exact(&d, &Command::RefAll { rank: 0 }, t.ras, t.rc + 8);
+        assert_earliest_exact(&d, &Command::RfmAll { rank: 0 }, t.ras, t.rc + 8);
+        // After a REF the rank-block frontier gates everything.
+        let ref_at = d.earliest_issue_at(&Command::RefAll { rank: 0 }, t.ras);
+        d.issue(&Command::RefAll { rank: 0 }, ref_at);
+        assert_earliest_exact(&d, &Command::Act { bank: B0, row: 1 }, ref_at, t.rfc + 8);
+    }
+
+    #[test]
+    fn earliest_issue_at_respects_faw() {
+        let mut cfg = DramConfig::ddr5_baseline();
+        let mut ns = TimingsNs::ddr5_3200an_baseline();
+        ns.tfaw = 60.0; // 96 cycles, so the window binds
+        cfg.timings = ns.resolve();
+        cfg.strict = true;
+        let mut d = DramDevice::new(cfg);
+        let t = *d.timings();
+        let g = *d.geometry();
+        let mut now = 0;
+        for i in 0..4usize {
+            d.issue(
+                &Command::Act {
+                    bank: BankId::from_flat(i, &g),
+                    row: 0,
+                },
+                now,
+            );
+            now += t.rrd_l;
+        }
+        let fifth = Command::Act {
+            bank: BankId::new(0, 4, 0),
+            row: 0,
+        };
+        assert_eq!(d.earliest_issue_at(&fifth, now), t.faw);
+        assert_earliest_exact(&d, &fifth, now, t.faw + 16);
     }
 
     #[test]

@@ -110,8 +110,8 @@ impl System {
         let mut inflight = InflightSlab::new();
         let mut completions: Vec<Completion> = Vec::with_capacity(64);
         let mut truncated = false;
-        // First cycle at which the controller could act again; re-armed to
-        // `mem_cycle + 1` whenever new work reaches it.
+        // First cycle at which the controller could act again; recomputed
+        // whenever new work reaches it.
         let mut ctrl_wake: u64 = 0;
 
         loop {
@@ -147,7 +147,11 @@ impl System {
                 );
             }
             if pushed {
-                ctrl_wake = mem_cycle + 1;
+                // Arrivals invalidate the memoized wake; recomputing here
+                // (rather than re-arming to `mem_cycle + 1`) lets the next
+                // tick reuse the fused-scan verdict and keeps jumps long
+                // when the arrival itself cannot issue for a while.
+                ctrl_wake = self.ctrl.next_wake(&self.dram, mem_cycle);
             }
 
             // --- CPU domain (21 CPU cycles per 8 memory cycles) ---
@@ -172,11 +176,22 @@ impl System {
             // --- event-driven fast-forward ---
             // Jump over iterations in which neither domain can change
             // state: the controller sleeps until `ctrl_wake`, no data is
-            // due before the earliest pending completion, nothing waits in
-            // the LLC outbox, and every core is memory-blocked or sleeping
-            // until a known CPU cycle.
-            if self.llc.peek_request().is_some() {
-                continue;
+            // due before the earliest pending completion, the LLC outbox
+            // is empty or its head is unacceptable, and every core is
+            // memory-blocked or sleeping until a known CPU cycle.
+            if let Some(req) = self.llc.peek_request() {
+                let kind = if req.write {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                };
+                if self.ctrl.can_accept(kind) {
+                    // The head would be forwarded next iteration.
+                    continue;
+                }
+                // A stalled head is inert: queue space only frees when the
+                // controller issues (at `ctrl_wake`), and both bounds below
+                // already include it, so the jump cannot delay forwarding.
             }
             let last_cpu = cpu_cycle - 1;
             let mut target = ctrl_wake;

@@ -8,8 +8,11 @@
 //! matrix. Any divergence here means the speedup changed figure outputs.
 
 use chronus_core::MechanismKind;
+use chronus_cpu::{Trace, TraceEntry, TraceOp};
+use chronus_ctrl::AddressMapping;
+use chronus_dram::BankId;
 use chronus_sim::{SimConfig, SimReport, System};
-use chronus_workloads::synthetic_app;
+use chronus_workloads::{perf_attack_trace, synthetic_app, wave_attack_trace};
 
 /// The equivalence matrix of the issue: controller-, device-, and
 /// hybrid-side mechanisms at a relaxed and an aggressive threshold.
@@ -104,6 +107,114 @@ fn four_core_mix_is_bit_identical() {
         let fast = System::build(&cfg).run(traces());
         let naive = System::build(&cfg).run_reference(traces());
         assert_identical(&fast, &naive, &format!("4-core {mech}@{nrh}"));
+    }
+}
+
+/// A store-heavy trace whose lines alias across banks and LLC sets:
+/// every store misses, fills, and evicts a dirty victim, so the write
+/// queue rides the drain-mode hysteresis (`wr_high`/`wr_low`) constantly.
+fn write_thrash_trace(entries: usize) -> Trace {
+    let mut t = Trace::new("write-thrash");
+    for i in 0..entries {
+        // Large, co-prime strides: distinct lines that revisit the same
+        // LLC sets often enough to force dirty evictions.
+        let addr = (i as u64 * 4288) % (1 << 22);
+        t.entries.push(TraceEntry {
+            bubbles: (i % 3) as u32,
+            op: TraceOp::Store(addr),
+        });
+    }
+    t
+}
+
+fn check_trace(mech: MechanismKind, nrh: u32, trace: &Trace, insts: u64, what: &str) {
+    let mut cfg = single_cfg(mech, nrh, insts);
+    // Attack traces aim at exact (bank, row) coordinates through the
+    // inverse mapping; pin the mapping so the coordinates stay honest for
+    // mechanisms that prefer a different default.
+    cfg.mapping = Some(AddressMapping::Mop);
+    let fast = System::build(&cfg).run(vec![trace.clone()]);
+    let naive = System::build(&cfg).run_reference(vec![trace.clone()]);
+    assert_identical(&fast, &naive, what);
+}
+
+#[test]
+fn attack_pattern_matrix_is_bit_identical() {
+    // The §11 performance attack keeps a handful of banks row-conflicting
+    // nonstop: RFM / back-off / PRFM activity is continuous, so the wake
+    // computation must agree with the reference tick ladder under load.
+    let cfg = SimConfig::single_core();
+    let geo = cfg.geometry;
+    let insts = 2_500u64;
+    let accesses = (insts + insts / 5) as usize;
+    let attack = |mapping| perf_attack_trace(mapping, &geo, 4, 8, accesses);
+    for mech in [
+        MechanismKind::Prac4,
+        MechanismKind::Chronus,
+        MechanismKind::Prfm,
+    ] {
+        for nrh in [256, 32] {
+            check_trace(
+                mech,
+                nrh,
+                &attack(AddressMapping::Mop),
+                insts,
+                &format!("perf-attack {mech}@{nrh}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn wave_attack_vrr_storm_is_bit_identical() {
+    // Hammering one bank's decoy rows at a low threshold floods the VRR
+    // queue (Graphene) / trips probabilistic refreshes (Para): the VRR
+    // service window is part of the wake computation and must not drift.
+    let cfg = SimConfig::single_core();
+    let geo = cfg.geometry;
+    let bank = BankId::from_flat(3, &geo);
+    let rows: Vec<u32> = (0..6).map(|i| 2_000 + i * 32).collect();
+    let insts = 2_500u64;
+    let trace = wave_attack_trace(
+        AddressMapping::Mop,
+        &geo,
+        bank,
+        &rows,
+        (insts + insts / 5) as usize,
+    );
+    for (mech, nrh) in [
+        (MechanismKind::Graphene, 64),
+        (MechanismKind::Graphene, 32),
+        (MechanismKind::Para, 64),
+        (MechanismKind::Chronus, 32),
+    ] {
+        check_trace(
+            mech,
+            nrh,
+            &trace,
+            insts,
+            &format!("wave-attack {mech}@{nrh}"),
+        );
+    }
+}
+
+#[test]
+fn write_drain_thrash_is_bit_identical() {
+    // Dirty evictions keep the write queue around the drain thresholds;
+    // the memoized wake must replicate the next tick's drain-mode verdict
+    // (preference hysteresis) exactly or the queues are served in a
+    // different order.
+    let insts = 3_000u64;
+    let trace = write_thrash_trace((insts + insts / 5) as usize);
+    for (mech, nrh) in [
+        (MechanismKind::None, 1024),
+        (MechanismKind::Prac4, 64),
+        (MechanismKind::Prfm, 64),
+    ] {
+        let cfg = single_cfg(mech, nrh, insts);
+        let fast = System::build(&cfg).run(vec![trace.clone()]);
+        let naive = System::build(&cfg).run_reference(vec![trace.clone()]);
+        assert_identical(&fast, &naive, &format!("write-thrash {mech}@{nrh}"));
     }
 }
 

@@ -1,0 +1,73 @@
+//! Randomized fast-loop / reference-loop equivalence.
+//!
+//! The matrix tests in `loop_equivalence.rs` pin known-hostile workloads;
+//! this file closes the gaps between them: random traces (random op mix,
+//! bubble spacing, and address clustering), random mechanisms, and random
+//! thresholds, all asserting that [`System::run`] and
+//! [`System::run_reference`] produce bit-identical [`SimReport`]s.
+
+use chronus_core::MechanismKind;
+use chronus_cpu::{Trace, TraceEntry, TraceOp};
+use chronus_sim::{SimConfig, System};
+use proptest::prelude::*;
+
+/// Mechanisms sampled by the property: one per mitigation family
+/// (none, PRAC+ABO, hybrid, PRFM, tracker+VRR, probabilistic).
+const MECHANISMS: [MechanismKind; 6] = [
+    MechanismKind::None,
+    MechanismKind::Prac4,
+    MechanismKind::Chronus,
+    MechanismKind::Prfm,
+    MechanismKind::Graphene,
+    MechanismKind::Para,
+];
+
+/// Builds a trace from sampled `(bubbles, kind, addr)` triples, folding
+/// each address into a `footprint_bits`-sized working set.
+fn trace_from(entries: &[(u32, u8, u64)], footprint_bits: u32) -> Trace {
+    let mut t = Trace::new("random");
+    let mask = (1u64 << footprint_bits) - 1;
+    for &(bubbles, kind, addr) in entries {
+        let addr = addr & mask;
+        let op = match kind {
+            // Loads dominate so the read queue stays hot; stores force
+            // dirty evictions; non-cacheable loads bypass the LLC and
+            // stress the per-access DRAM path.
+            0..=4 => TraceOp::Load(addr),
+            5..=7 => TraceOp::Store(addr),
+            _ => TraceOp::LoadNc(addr),
+        };
+        t.entries.push(TraceEntry { bubbles, op });
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Each case runs a full fast and reference simulation; the case count
+    // is small but every run covers thousands of memory cycles across
+    // refresh, drain, back-off, and VRR activity.
+    #[test]
+    fn random_traces_run_bit_identical_to_the_reference_loop(
+        entries in proptest::collection::vec((0u32..12, 0u8..10, 0u64..u64::MAX), 600..1800),
+        mech_idx in 0usize..MECHANISMS.len(),
+        nrh_exp in 5u32..11,
+        // Small footprints maximize row conflicts; large ones maximize
+        // LLC miss rates. Sample both regimes.
+        footprint_bits in 14u32..26,
+    ) {
+        let mech = MECHANISMS[mech_idx];
+        let nrh = 1u32 << nrh_exp;
+        let insts = (entries.len() as u64 * 4) / 5;
+        let trace = trace_from(&entries, footprint_bits);
+        let mut cfg = SimConfig::single_core();
+        cfg.instructions_per_core = insts;
+        cfg.mechanism = mech;
+        cfg.nrh = nrh;
+        cfg.max_mem_cycles = insts * 10_000;
+        let fast = System::build(&cfg).run(vec![trace.clone()]);
+        let naive = System::build(&cfg).run_reference(vec![trace]);
+        prop_assert_eq!(&fast, &naive, "{}@{} diverged", mech, nrh);
+    }
+}
