@@ -39,6 +39,7 @@ struct LoopRow {
     reference_cycles_per_sec: f64,
     speedup: f64,
     reports_identical: bool,
+    avg_read_latency: f64,
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -121,6 +122,7 @@ fn measure_trace(cfg: SimConfig, app: &str, kind: &str, insts: u64, trace: Trace
         reference_cycles_per_sec: ref_cps,
         speedup: fast_cps / ref_cps,
         reports_identical: identical,
+        avg_read_latency: fast.ctrl.avg_read_latency(),
     }
 }
 
@@ -194,6 +196,7 @@ fn main() {
                 format!("{:.2e}", r.fast_cycles_per_sec),
                 format!("{:.2e}", r.reference_cycles_per_sec),
                 format!("{:.2}x", r.speedup),
+                format!("{:.1}", r.avg_read_latency),
             ]
         })
         .collect();
@@ -206,7 +209,8 @@ fn main() {
                 "mem_cycles",
                 "fast c/s",
                 "ref c/s",
-                "speedup"
+                "speedup",
+                "avg read lat"
             ],
             &table
         )

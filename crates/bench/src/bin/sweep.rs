@@ -211,9 +211,15 @@ fn status(grid_arg: Option<&str>, opts: &HarnessOpts) {
         // show up as corrupt here, never crash the accounting.
         let mut cached = 0usize;
         let mut corrupt = 0usize;
+        let mut walls = Vec::new();
         for h in &hashes {
             match store.verify(h) {
-                EntryState::Ok(_) => cached += 1,
+                EntryState::Ok(_) => {
+                    cached += 1;
+                    if let Some(wall) = store.recorded_wall(h) {
+                        walls.push(wall);
+                    }
+                }
                 EntryState::Bad(_) => corrupt += 1,
                 EntryState::Missing => {}
             }
@@ -222,13 +228,14 @@ fn status(grid_arg: Option<&str>, opts: &HarnessOpts) {
             .load_manifest(&spec.name)
             .map_or(0, |m| m.failures.len());
         println!(
-            "chronus-sweep: grid={} cells={} cached={} missing={} corrupt={} failed={}",
+            "chronus-sweep: grid={} cells={} cached={} missing={} corrupt={} failed={}{}",
             spec.name,
             hashes.len(),
             cached,
             hashes.len() - cached - corrupt,
             corrupt,
-            failed
+            failed,
+            wall_percentiles(&mut walls)
         );
         if corrupt > 0 {
             degraded = true;
@@ -245,6 +252,25 @@ fn status(grid_arg: Option<&str>, opts: &HarnessOpts) {
     if degraded {
         std::process::exit(DEGRADED_EXIT);
     }
+}
+
+/// Formats the per-grid wall-clock summary from the store's `<hash>.wall`
+/// sidecars: ` wall_p50=… wall_p90=… wall_max=…`, or the empty string when
+/// no cached cell has a recorded wall-clock (the line stays grep-stable).
+fn wall_percentiles(walls: &mut [f64]) -> String {
+    if walls.is_empty() {
+        return String::new();
+    }
+    walls.sort_by(f64::total_cmp);
+    // Nearest-rank percentile: the smallest recorded wall-clock at or
+    // above the requested fraction of the sorted sample.
+    let rank = |p: f64| walls[((walls.len() as f64 * p).ceil() as usize).max(1) - 1];
+    format!(
+        " wall_p50={:.2}s wall_p90={:.2}s wall_max={:.2}s",
+        rank(0.50),
+        rank(0.90),
+        walls[walls.len() - 1]
+    )
 }
 
 fn merge_cmd(grid_arg: Option<&str>, opts: &HarnessOpts) {

@@ -31,6 +31,7 @@ pub const GRID_NAMES: &[&str] = &[
     "table4",
     "ablation",
     "perf_attack",
+    "leakage",
     "smoke",
 ];
 
@@ -101,6 +102,7 @@ pub fn build_spec(name: &str, opts: &HarnessOpts) -> Option<GridSpec> {
         "table4" => Table4Grid::build(opts).spec,
         "ablation" => AblationGrid::build(opts).spec,
         "perf_attack" => PerfAttackGrid::build(opts).spec,
+        "leakage" => LeakageGrid::build(opts).spec,
         "smoke" => smoke_grid(),
         _ => return None,
     };
@@ -522,6 +524,116 @@ impl PerfAttackGrid {
     }
 }
 
+/// One timing-leakage output row.
+#[derive(Debug, Clone, Serialize)]
+pub struct LeakageRow {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// RowHammer threshold.
+    pub nrh: u32,
+    /// Shannon entropy of the attacker core's read-latency distribution.
+    pub attacker_latency_entropy_bits: f64,
+    /// Shannon entropy of the aggregate read-latency distribution.
+    pub latency_entropy_bits: f64,
+    /// Shannon entropy of the merged inter-CAS gap distribution.
+    pub gap_entropy_bits: f64,
+    /// Shannon entropy of the hit/miss/conflict outcome mix.
+    pub outcome_entropy_bits: f64,
+    /// Shannon entropy of the mitigation-pause duration distribution.
+    pub pause_entropy_bits: f64,
+    /// Memory cycles demand issue was blocked by mitigation work.
+    pub pause_cycles: u64,
+    /// `pause_cycles` as a fraction of simulated memory cycles.
+    pub pause_fraction: f64,
+    /// Composite score the figure ranks by: attacker latency entropy +
+    /// gap entropy + pause entropy. Higher = more timing signal exposed.
+    pub leakage_score: f64,
+}
+
+/// The fixed RowHammer threshold of the leakage study: low enough that
+/// every mechanism actually fires its mitigations under the probe attack.
+pub const LEAKAGE_NRH: u32 = 64;
+
+/// The timing-leakage study as a grid: one obs-enabled cell per mechanism
+/// (the unprotected baseline plus all eleven mitigations) under a fixed
+/// probe workload of one benign app and the §11 attacker.
+pub struct LeakageGrid {
+    /// The declarative grid.
+    pub spec: GridSpec,
+    /// (mechanism, cell).
+    jobs: Vec<(MechanismKind, usize)>,
+}
+
+impl LeakageGrid {
+    /// Builds the grid.
+    pub fn build(opts: &HarnessOpts) -> Self {
+        let trace_instructions = opts.instructions + opts.instructions / 10;
+        let workload = WorkloadSpec::AppsWithAttacker {
+            apps: vec![AppTrace::new("429.mcf", 0, opts.seed)],
+            trace_instructions,
+            attack: AttackSpec {
+                mapping: AddressMapping::Mop,
+                banks: 4,
+                rows: 8,
+            },
+        };
+        let mut spec = GridSpec::new("leakage");
+        let mut jobs = Vec::new();
+        for &mech in std::iter::once(&MechanismKind::None).chain(MechanismKind::all()) {
+            let mut cfg = SimConfig::four_core();
+            cfg.instructions_per_core = opts.instructions;
+            cfg.mechanism = mech;
+            cfg.nrh = LEAKAGE_NRH;
+            cfg.seed = opts.seed;
+            cfg.mapping = Some(AddressMapping::Mop);
+            cfg.obs = true;
+            cfg.max_mem_cycles = opts.instructions.saturating_mul(6000).max(1 << 22);
+            let cell = spec.push(CellSpec::new(mech.label(), workload.clone(), cfg));
+            jobs.push((mech, cell));
+        }
+        Self { spec, jobs }
+    }
+
+    /// Assembles rows ranked by descending leakage score; cells that are
+    /// missing (partial shard) or lack an obs section are skipped.
+    pub fn rows(&self, outcome: &GridOutcome) -> Vec<LeakageRow> {
+        // The attacker is appended after the benign apps, so it is the
+        // last core of the two-core probe workload.
+        let attacker_core = 1;
+        let mut rows = Vec::new();
+        for &(mech, cell) in &self.jobs {
+            let Some(report) = outcome.reports[cell].as_ref() else {
+                continue;
+            };
+            let Some(obs) = report.obs.as_ref() else {
+                continue;
+            };
+            let pause_cycles = obs.pauses.total_cycles();
+            let attacker_latency_entropy_bits = obs.core_latency(attacker_core).entropy_bits();
+            let leakage_score =
+                attacker_latency_entropy_bits + obs.gap_entropy_bits + obs.pause_entropy_bits;
+            rows.push(LeakageRow {
+                mechanism: mech.label().to_string(),
+                nrh: report.nrh,
+                attacker_latency_entropy_bits,
+                latency_entropy_bits: obs.latency_entropy_bits,
+                gap_entropy_bits: obs.gap_entropy_bits,
+                outcome_entropy_bits: obs.outcome_entropy_bits,
+                pause_entropy_bits: obs.pause_entropy_bits,
+                pause_cycles,
+                pause_fraction: if report.mem_cycles == 0 {
+                    0.0
+                } else {
+                    pause_cycles as f64 / report.mem_cycles as f64
+                },
+                leakage_score,
+            });
+        }
+        rows.sort_by(|a, b| b.leakage_score.total_cmp(&a.leakage_score));
+        rows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,6 +664,25 @@ mod tests {
     #[test]
     fn smoke_grid_is_two_cells() {
         assert_eq!(smoke_grid().len(), 2);
+    }
+
+    #[test]
+    fn leakage_grid_covers_every_mechanism_with_obs_on() {
+        let grid = LeakageGrid::build(&tiny());
+        assert_eq!(grid.spec.len(), 1 + MechanismKind::all().len());
+        assert_eq!(grid.spec.len(), 12, "baseline + all eleven mechanisms");
+        let labels: Vec<_> = grid.spec.cells.iter().map(|c| c.label.clone()).collect();
+        assert!(labels.contains(&"Baseline".to_string()));
+        assert!(labels.contains(&"Chronus".to_string()));
+        for cell in &grid.spec.cells {
+            assert!(
+                cell.config.obs,
+                "{}: leakage cells must carry the probe",
+                cell.label
+            );
+            assert_eq!(cell.config.nrh, LEAKAGE_NRH);
+            assert_eq!(cell.config.num_cores, 2, "one benign app + the attacker");
+        }
     }
 
     #[test]

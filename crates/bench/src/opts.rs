@@ -28,6 +28,10 @@ pub struct HarnessOpts {
     pub no_cache: bool,
     /// Suppress per-cell progress/ETA lines (`--quiet`).
     pub quiet: bool,
+    /// Attach the timing-observability probe to every simulation
+    /// (`--obs`): reports gain an `ObsReport` section. Changes cell keys
+    /// (obs cells cache separately) but no pre-existing report field.
+    pub obs: bool,
     /// Retry budget override for failed cells (`--retries N`); `None`
     /// keeps the grid default.
     pub retries: Option<u32>,
@@ -54,6 +58,7 @@ impl Default for HarnessOpts {
             grid_dir: None,
             no_cache: false,
             quiet: false,
+            obs: false,
             retries: None,
             cell_timeout: None,
             lease_ttl: None,
@@ -74,7 +79,7 @@ pub enum ParseOutcome {
 /// The flags of [`HarnessOpts::parse_from`] that take no value argument.
 /// Argument pre-splitters (`chronus-sweep` separates positionals from
 /// flags) consult this so flag arity is defined in exactly one place.
-pub const VALUELESS_FLAGS: &[&str] = &["--no-cache", "--quiet", "--help", "-h"];
+pub const VALUELESS_FLAGS: &[&str] = &["--no-cache", "--quiet", "--obs", "--help", "-h"];
 
 impl HarnessOpts {
     /// Parses `std::env::args`, printing usage on `--help` (exit 0) and a
@@ -100,7 +105,7 @@ impl HarnessOpts {
             "{tool}: regenerates one artefact of the Chronus paper.\n\
              flags: --instructions N --mixes N --threads N --seed N \
              --nrh a,b,c --out FILE\n\
-             grid:  --shard i/N --grid-dir DIR --no-cache --quiet\n\
+             grid:  --shard i/N --grid-dir DIR --no-cache --quiet --obs\n\
              fault: --retries N --cell-timeout SECS --lease-ttl SECS \
              (env: CHRONUS_FAULTS)"
         )
@@ -163,6 +168,7 @@ impl HarnessOpts {
                 }
                 "--no-cache" => o.no_cache = true,
                 "--quiet" => o.quiet = true,
+                "--obs" => o.obs = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Invalid(format!("unknown flag '{other}'"))),
             }
@@ -236,6 +242,7 @@ mod tests {
             "/tmp/store",
             "--no-cache",
             "--quiet",
+            "--obs",
         ])
         .unwrap();
         assert_eq!(o.instructions, 9_000);
@@ -251,6 +258,8 @@ mod tests {
         );
         assert!(o.no_cache);
         assert!(o.quiet);
+        assert!(o.obs);
+        assert!(!HarnessOpts::default().obs, "obs is opt-in");
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub fn mix_config(
     cfg.nrh = nrh;
     cfg.seed = opts.seed;
     cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+    cfg.obs = opts.obs;
     cfg
 }
 
@@ -91,6 +92,7 @@ fn alone_config(opts: &HarnessOpts) -> SimConfig {
     let mut cfg = SimConfig::single_core();
     cfg.instructions_per_core = opts.instructions;
     cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+    cfg.obs = opts.obs;
     cfg
 }
 
@@ -404,6 +406,7 @@ impl AppSweep {
             cfg.nrh = nrh;
             cfg.seed = opts.seed;
             cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
+            cfg.obs = opts.obs;
             cfg
         };
         let baseline = apps
@@ -507,6 +510,7 @@ pub fn run_homogeneous(
     cfg.mechanism = mech;
     cfg.nrh = nrh;
     cfg.seed = opts.seed;
+    cfg.obs = opts.obs;
     cfg.max_mem_cycles = opts.instructions.saturating_mul(4000).max(1 << 22);
     let traces: Vec<Trace> = (0..num_cores)
         .map(|i| {

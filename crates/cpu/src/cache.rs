@@ -9,6 +9,8 @@ use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use crate::core::SimpleO3Core;
+
 /// LLC geometry and latency (Table 2 defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheConfig {
@@ -81,15 +83,10 @@ pub struct UncoreRequest {
     /// True if the read must bypass the cache (non-cacheable load); the
     /// completion routes straight back to the waiter.
     pub uncached: bool,
-}
-
-/// Result of a fill: waiters to wake and an optional writeback.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct FillOutcome {
-    /// Tokens of loads waiting on this line.
-    pub waiters: Vec<u64>,
-    /// A dirty victim evicted by the fill, if any.
-    pub writeback: Option<u64>,
+    /// The core that initiated the miss (the first waiter for merged
+    /// misses). Purely attributional — routing still goes through waiter
+    /// tokens — so downstream per-core accounting can label the request.
+    pub core: u8,
 }
 
 #[derive(Debug)]
@@ -204,15 +201,16 @@ impl SharedLlc {
             line_addr: line,
             write: false,
             uncached: false,
+            core: SimpleO3Core::token_core(token),
         });
         LoadResult::Miss
     }
 
-    /// A store (write-allocate): hit marks dirty and completes; a miss
-    /// allocates an MSHR for the read-for-ownership but the store itself is
-    /// posted (returns `true`). Returns `false` when the store must retry
-    /// (MSHR pressure).
-    pub fn store(&mut self, addr: u64) -> bool {
+    /// A store (write-allocate) from `core`: hit marks dirty and
+    /// completes; a miss allocates an MSHR for the read-for-ownership but
+    /// the store itself is posted (returns `true`). Returns `false` when
+    /// the store must retry (MSHR pressure).
+    pub fn store(&mut self, addr: u64, core: u8) -> bool {
         let line = self.line_addr(addr);
         if let Some(l) = self.probe(line) {
             l.dirty = true;
@@ -241,6 +239,7 @@ impl SharedLlc {
             line_addr: line,
             write: false,
             uncached: false,
+            core,
         });
         true
     }
@@ -267,6 +266,7 @@ impl SharedLlc {
             line_addr: line,
             write: false,
             uncached: true,
+            core: SimpleO3Core::token_core(token),
         });
         LoadResult::Miss
     }
@@ -284,10 +284,20 @@ impl SharedLlc {
 
     /// A line read completed. Installs the line (cacheable fills), wakes
     /// waiters, and reports any dirty eviction; the caller turns the
-    /// writeback into a memory write.
-    pub fn on_fill(&mut self, line_addr: u64, uncached: bool) -> FillOutcome {
+    /// returned writeback into a memory write.
+    ///
+    /// `waiters` is a caller-owned scratch buffer: it is cleared, then
+    /// filled with the tokens to wake. Reusing one buffer across fills
+    /// keeps this path allocation-free (the uncached path runs once per
+    /// attack access).
+    pub fn on_fill(
+        &mut self,
+        line_addr: u64,
+        uncached: bool,
+        waiters: &mut Vec<u64>,
+    ) -> Option<u64> {
+        waiters.clear();
         if uncached {
-            let mut waiters = Vec::new();
             if let Some(q) = self.uncached.get_mut(&line_addr) {
                 if let Some(t) = q.pop_front() {
                     waiters.push(t);
@@ -297,18 +307,11 @@ impl SharedLlc {
                     self.uncached.remove(&line_addr);
                 }
             }
-            return FillOutcome {
-                waiters,
-                writeback: None,
-            };
+            return None;
         }
-        let Some(m) = self.mshr.remove(&line_addr) else {
-            return FillOutcome::default();
-        };
-        let mut out = FillOutcome {
-            waiters: m.waiters,
-            writeback: None,
-        };
+        let m = self.mshr.remove(&line_addr)?;
+        waiters.extend_from_slice(&m.waiters);
+        let mut writeback = None;
         if m.fill {
             let set = self.set_of(line_addr);
             self.lru_clock += 1;
@@ -318,7 +321,7 @@ impl SharedLlc {
                 .min_by_key(|l| if l.valid { l.lru } else { 0 })
                 .expect("ways >= 1");
             if victim.valid && victim.dirty {
-                out.writeback = Some(victim.tag);
+                writeback = Some(victim.tag);
             }
             *victim = Line {
                 tag: line_addr,
@@ -327,7 +330,7 @@ impl SharedLlc {
                 valid: true,
             };
         }
-        out
+        writeback
     }
 
     /// (hits, misses) so far.
@@ -355,6 +358,13 @@ mod tests {
         })
     }
 
+    /// Test convenience over the scratch-buffer API.
+    fn fill(c: &mut SharedLlc, line: u64, uncached: bool) -> (Vec<u64>, Option<u64>) {
+        let mut waiters = Vec::new();
+        let wb = c.on_fill(line, uncached, &mut waiters);
+        (waiters, wb)
+    }
+
     #[test]
     fn default_config_matches_table2() {
         let c = CacheConfig::default();
@@ -370,8 +380,9 @@ mod tests {
         let req = c.pop_request().unwrap();
         assert_eq!(req.line_addr, 0x1000);
         assert!(!req.write);
-        let fill = c.on_fill(0x1000, false);
-        assert_eq!(fill.waiters, vec![7]);
+        assert_eq!(req.core, 0);
+        let (waiters, _) = fill(&mut c, 0x1000, false);
+        assert_eq!(waiters, vec![7]);
         assert_eq!(c.load(0x1000, 8), LoadResult::Hit);
     }
 
@@ -382,8 +393,8 @@ mod tests {
         assert_eq!(c.load(0x1040, 2), LoadResult::Miss);
         assert_eq!(c.load(0x1000, 3), LoadResult::Miss); // merges
         assert_eq!(c.outbox.len(), 2, "merged miss sends one request");
-        let fill = c.on_fill(0x1000, false);
-        assert_eq!(fill.waiters, vec![1, 3]);
+        let (waiters, _) = fill(&mut c, 0x1000, false);
+        assert_eq!(waiters, vec![1, 3]);
     }
 
     #[test]
@@ -404,12 +415,12 @@ mod tests {
         let b = a + set_stride;
         let d = b + set_stride;
         for addr in [a, b] {
-            assert!(c.store(addr));
-            c.on_fill(addr, false);
+            assert!(c.store(addr, 0));
+            fill(&mut c, addr, false);
         }
         assert_eq!(c.load(d, 5), LoadResult::Miss);
-        let fill = c.on_fill(d, false);
-        assert!(fill.writeback.is_some(), "a dirty victim must write back");
+        let (_, writeback) = fill(&mut c, d, false);
+        assert!(writeback.is_some(), "a dirty victim must write back");
     }
 
     #[test]
@@ -417,17 +428,18 @@ mod tests {
         // Write-allocate: the RFO fill must carry the store's dirty bit so
         // the eventual eviction writes back to DRAM.
         let mut c = small();
-        assert!(c.store(0x1000));
+        assert!(c.store(0x1000, 2));
         let req = c.pop_request().unwrap();
         assert!(!req.write, "RFO is a read");
-        c.on_fill(0x1000, false);
+        assert_eq!(req.core, 2, "RFO attributed to the storing core");
+        fill(&mut c, 0x1000, false);
         // Evict it via two more fills into the same set.
         let stride = 64 * 32;
         for i in 1..=2u64 {
             c.load(0x1000 + i * stride, i);
-            let out = c.on_fill(0x1000 + i * stride, false);
+            let (_, writeback) = fill(&mut c, 0x1000 + i * stride, false);
             if i == 2 {
-                assert_eq!(out.writeback, Some(0x1000), "store data lost");
+                assert_eq!(writeback, Some(0x1000), "store data lost");
             }
         }
     }
@@ -438,8 +450,8 @@ mod tests {
         assert_eq!(c.load_uncached(0x5000, 9), LoadResult::Miss);
         let req = c.pop_request().unwrap();
         assert!(req.uncached);
-        let fill = c.on_fill(0x5000, true);
-        assert_eq!(fill.waiters, vec![9]);
+        let (waiters, _) = fill(&mut c, 0x5000, true);
+        assert_eq!(waiters, vec![9]);
         // Still a miss afterwards: nothing was cached.
         assert_eq!(c.load(0x5000, 10), LoadResult::Miss);
     }
@@ -450,14 +462,39 @@ mod tests {
         let stride = 64 * 32;
         let (a, b, d) = (0u64, stride, 2 * stride);
         c.load(a, 1);
-        c.on_fill(a, false);
+        fill(&mut c, a, false);
         c.load(b, 2);
-        c.on_fill(b, false);
+        fill(&mut c, b, false);
         // Touch `a` so `b` is LRU.
         assert_eq!(c.load(a, 3), LoadResult::Hit);
         c.load(d, 4);
-        c.on_fill(d, false);
+        fill(&mut c, d, false);
         assert_eq!(c.load(a, 5), LoadResult::Hit, "a must survive");
         assert_eq!(c.load(b, 6), LoadResult::Miss, "b was evicted");
+    }
+
+    #[test]
+    fn fill_scratch_buffer_is_cleared_between_calls() {
+        let mut c = small();
+        c.load(0x1000, 1);
+        c.load(0x2000, 2);
+        let mut waiters = vec![99, 98, 97]; // stale contents must vanish
+        c.on_fill(0x1000, false, &mut waiters);
+        assert_eq!(waiters, vec![1]);
+        c.on_fill(0x2000, false, &mut waiters);
+        assert_eq!(waiters, vec![2]);
+        // A fill with no MSHR leaves the buffer empty, not stale.
+        c.on_fill(0x9000, false, &mut waiters);
+        assert!(waiters.is_empty());
+    }
+
+    #[test]
+    fn merged_miss_is_attributed_to_the_first_waiter() {
+        let mut c = small();
+        let t = |core: u8, n: u64| ((core as u64) << 48) | n;
+        assert_eq!(c.load(0x1000, t(3, 1)), LoadResult::Miss);
+        assert_eq!(c.load(0x1000, t(5, 2)), LoadResult::Miss); // merges
+        let req = c.pop_request().unwrap();
+        assert_eq!(req.core, 3, "one request, first core's label");
     }
 }

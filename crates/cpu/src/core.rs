@@ -377,7 +377,7 @@ impl SimpleO3Core {
                     }
                 }
                 TraceOp::Store(addr) => {
-                    if llc.store(addr) {
+                    if llc.store(addr, self.id) {
                         // Posted: occupies a window slot this cycle only.
                         self.window.push_back(Slot::ReadyAt(now));
                         true
@@ -427,8 +427,10 @@ mod tests {
         while core.state() == CoreState::Running && now < 10_000 {
             core.tick(now, &mut llc);
             // Complete outstanding loads instantly to isolate bubble flow.
+            let mut waiters = Vec::new();
             while let Some(req) = llc.pop_request() {
-                for t in llc.on_fill(req.line_addr, req.uncached).waiters {
+                llc.on_fill(req.line_addr, req.uncached, &mut waiters);
+                for t in waiters.drain(..) {
                     core.on_mem_complete(t, now);
                 }
             }
@@ -456,7 +458,8 @@ mod tests {
         }
         assert_eq!(core.state(), CoreState::Running, "no data, no retire");
         let req = llc.pop_request().unwrap();
-        let waiters = llc.on_fill(req.line_addr, false).waiters;
+        let mut waiters = Vec::new();
+        llc.on_fill(req.line_addr, false, &mut waiters);
         for t in waiters {
             core.on_mem_complete(t, 50);
         }
@@ -469,10 +472,12 @@ mod tests {
     fn trace_wraps_around() {
         let mut core = SimpleO3Core::new(0, CoreConfig::default(), bubble_trace(2), 100, 24);
         let mut llc = llc();
+        let mut waiters = Vec::new();
         for now in 0..5000 {
             core.tick(now, &mut llc);
             while let Some(req) = llc.pop_request() {
-                for t in llc.on_fill(req.line_addr, req.uncached).waiters {
+                llc.on_fill(req.line_addr, req.uncached, &mut waiters);
+                for t in waiters.drain(..) {
                     core.on_mem_complete(t, now);
                 }
             }

@@ -20,7 +20,7 @@ pub mod core;
 pub mod metrics;
 pub mod trace;
 
-pub use cache::{CacheConfig, FillOutcome, LoadResult, SharedLlc, UncoreRequest};
+pub use cache::{CacheConfig, LoadResult, SharedLlc, UncoreRequest};
 pub use core::{CoreConfig, CoreState, CoreWake, SimpleO3Core};
 pub use metrics::{max_slowdown, weighted_speedup};
 pub use trace::{Trace, TraceEntry, TraceOp};

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::mapping::AddressMapping;
 use crate::mitigation::{CtrlMitigation, CtrlMitigationStats, MitigationAction, NoCtrlMitigation};
+use crate::obs::{ObsProbe, ObsReport, PauseCause, RowOutcome};
 use crate::queue::RequestQueue;
 use crate::refresh::RefreshEngine;
 use crate::request::{Completion, MemRequest, ReqKind, INTERNAL_CORE};
@@ -150,6 +151,10 @@ pub struct MemoryController {
     wake_decision: Option<(Decision, bool)>,
     wake_recomputes: u64,
     wake_shortcuts: u64,
+    /// Opt-in timing-observability probe ([`crate::obs`]); `None` (one
+    /// branch per issued command) unless [`MemoryController::enable_obs`]
+    /// was called. Strictly observational: never consulted by scheduling.
+    obs: Option<Box<ObsProbe>>,
 }
 
 impl std::fmt::Debug for MemoryController {
@@ -206,6 +211,37 @@ impl MemoryController {
             wake_decision: None,
             wake_recomputes: 0,
             wake_shortcuts: 0,
+            obs: None,
+        }
+    }
+
+    /// Attaches the timing-observability probe ([`crate::obs`]). Recording
+    /// happens only at command-issue events, so the fast and reference
+    /// loops observe identical streams.
+    pub fn enable_obs(&mut self) {
+        let total_banks = self.raa.len();
+        self.obs = Some(Box::new(ObsProbe::new(total_banks)));
+    }
+
+    /// Whether the observability probe is attached.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Detaches the probe and freezes it into a report; any open
+    /// mitigation pause is closed at `mem_cycles`. `None` when obs was
+    /// never enabled.
+    pub fn take_obs_report(&mut self, mem_cycles: Cycle) -> Option<ObsReport> {
+        self.obs.take().map(|p| p.finish(mem_cycles))
+    }
+
+    /// Probe hook for a non-demand command: opens/extends a mitigation
+    /// pause when demand is actually waiting behind it.
+    fn obs_block(&mut self, cause: PauseCause, now: Cycle) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            if self.reads.len() + self.writes.len() > 0 {
+                obs.note_block(cause, now);
+            }
         }
     }
 
@@ -495,6 +531,7 @@ impl MemoryController {
                 let cmd = Command::PreAll { rank: r };
                 if dram.can_issue(&cmd, now) {
                     dram.issue(&cmd, now);
+                    self.obs_block(PauseCause::BackOff, now);
                     return true;
                 }
                 // Wait for tRAS etc.; nothing else may touch this rank.
@@ -503,6 +540,7 @@ impl MemoryController {
             let cmd = Command::RfmAll { rank: r };
             if dram.can_issue(&cmd, now) {
                 dram.issue(&cmd, now);
+                self.obs_block(PauseCause::BackOff, now);
                 self.stats.recovery_rfms += 1;
                 let still = dram.alert_still_needed(r);
                 if self.fsm[r].on_recovery_rfm(still) {
@@ -535,6 +573,7 @@ impl MemoryController {
                     let cmd = Command::PreAll { rank: r };
                     if dram.can_issue(&cmd, now) {
                         dram.issue(&cmd, now);
+                        self.obs_block(PauseCause::Raa, now);
                         return true;
                     }
                     continue;
@@ -542,6 +581,7 @@ impl MemoryController {
                 let cmd = Command::RfmAll { rank: r };
                 if dram.can_issue(&cmd, now) {
                     dram.issue(&cmd, now);
+                    self.obs_block(PauseCause::Raa, now);
                     self.stats.raa_rfms += 1;
                     let base = r * dram.geometry().banks_per_rank();
                     for i in 0..dram.geometry().banks_per_rank() {
@@ -591,6 +631,7 @@ impl MemoryController {
                 let cmd = Command::Pre { bank };
                 if dram.can_issue(&cmd, now) {
                     dram.issue(&cmd, now);
+                    self.obs_block(PauseCause::Vrr, now);
                     self.hit_streak[bank.flat(dram.geometry())] = 0;
                     return true;
                 }
@@ -599,6 +640,7 @@ impl MemoryController {
             let cmd = Command::Vrr { bank, row };
             if dram.can_issue(&cmd, now) {
                 dram.issue(&cmd, now);
+                self.obs_block(PauseCause::Vrr, now);
                 self.vrrq[idx - 1] = None;
                 self.vrr_tombstones += 1;
                 self.vrr_compact();
@@ -684,6 +726,7 @@ impl MemoryController {
             let cmd = Command::PreAll { rank };
             if dram.can_issue(&cmd, now) {
                 dram.issue(&cmd, now);
+                self.obs_block(PauseCause::Refresh, now);
                 return true;
             }
             return false;
@@ -691,6 +734,7 @@ impl MemoryController {
         let cmd = Command::RefAll { rank };
         if dram.can_issue(&cmd, now) {
             dram.issue(&cmd, now);
+            self.obs_block(PauseCause::Refresh, now);
             self.refresh[rank].refreshed();
             return true;
         }
@@ -714,6 +758,11 @@ impl MemoryController {
         dram: &mut DramDevice,
         now: Cycle,
     ) {
+        // Every decision issues exactly one demand command, closing any
+        // open mitigation pause at its issue cycle.
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.note_demand(now);
+        }
         let t = *dram.timings();
         let geo = *dram.geometry();
         let queue = if is_write_queue {
@@ -728,12 +777,18 @@ impl MemoryController {
                 dram.issue(&cmd, now);
                 let flat = entry.req.addr.bank.flat(&geo);
                 // Row-locality classification at service time.
-                if entry.caused_pre {
+                let outcome = if entry.caused_pre {
                     self.stats.row_conflicts += 1;
+                    RowOutcome::Conflict
                 } else if entry.caused_act {
                     self.stats.row_misses += 1;
+                    RowOutcome::Miss
                 } else {
                     self.stats.row_hits += 1;
+                    RowOutcome::Hit
+                };
+                if let Some(obs) = self.obs.as_deref_mut() {
+                    obs.record_cas(flat, outcome, now);
                 }
                 // Cap bookkeeping: only bypassing hits build the streak.
                 if bypass {
@@ -746,6 +801,9 @@ impl MemoryController {
                         self.stats.reads_served += 1;
                         let at = now + t.cl + t.bl;
                         self.stats.read_latency_sum += at - entry.req.arrived;
+                        if let Some(obs) = self.obs.as_deref_mut() {
+                            obs.record_read(entry.req.core, at - entry.req.arrived);
+                        }
                         if entry.req.core != INTERNAL_CORE {
                             self.completions.push(PendingCompletion(Completion {
                                 id: entry.req.id,
@@ -1058,6 +1116,40 @@ mod tests {
         assert_eq!(ctrl.pending_requests(), 0);
         // ACT, RD, PRE, ACT, RD at minimum.
         assert!(issued >= 5, "only {issued} commands issued");
+    }
+
+    #[test]
+    fn obs_probe_is_observational_and_records() {
+        let run = |obs: bool| {
+            let (mut ctrl, mut dram) = setup(RfmPolicy::None);
+            if obs {
+                ctrl.enable_obs();
+                assert!(ctrl.obs_enabled());
+            }
+            ctrl.push_request(read_req(1, B0, 10, 3, 0));
+            ctrl.push_request(read_req(2, B0, 10, 7, 0));
+            ctrl.push_request(read_req(3, B0, 20, 0, 0));
+            for now in 0..3_000 {
+                ctrl.tick(&mut dram, now);
+            }
+            let stats = *ctrl.stats();
+            let report = ctrl.take_obs_report(3_000);
+            (stats, report)
+        };
+        let (s_off, r_off) = run(false);
+        let (s_on, r_on) = run(true);
+        assert_eq!(s_off, s_on, "probe must not perturb controller stats");
+        assert!(r_off.is_none(), "no report without enable_obs");
+        let r = r_on.unwrap();
+        assert_eq!(r.read_latency.total, 3);
+        assert_eq!(r.per_core_latency[0].total, 3, "all reads from core 0");
+        assert_eq!(r.hit_gaps.total, 1, "second read hits the open row");
+        assert_eq!(r.conflict_gaps.total, 1, "third read conflicts");
+        assert!(r.latency_entropy_bits > 0.0, "latencies differ across rows");
+        assert!(
+            (r.outcome_entropy_bits - crate::obs::entropy_bits(&[1, 1, 1])).abs() < 1e-12,
+            "one hit, one miss, one conflict"
+        );
     }
 
     #[test]

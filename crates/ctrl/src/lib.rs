@@ -21,6 +21,7 @@
 pub mod controller;
 pub mod mapping;
 pub mod mitigation;
+pub mod obs;
 pub mod queue;
 pub mod refresh;
 pub mod request;
@@ -30,6 +31,7 @@ pub mod scheduler;
 pub use controller::{CtrlConfig, CtrlStats, MemoryController};
 pub use mapping::AddressMapping;
 pub use mitigation::{CtrlMitigation, CtrlMitigationStats, MitigationAction, NoCtrlMitigation};
+pub use obs::{ObsHistogram, ObsPauses, ObsReport};
 pub use queue::{BankSet, RequestQueue, MAX_BANKS};
 pub use request::{Completion, MemRequest, ReqKind};
 pub use rfm::RfmPolicy;

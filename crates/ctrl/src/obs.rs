@@ -1,0 +1,499 @@
+//! Opt-in timing-observability probe (chronus-scope).
+//!
+//! The controller computes per-request DRAM timing at cycle resolution;
+//! this module keeps the *distributions* instead of only the scalar sums
+//! in [`crate::CtrlStats`]: read-latency histograms (aggregate and per
+//! core), row-state outcome streams with inter-arrival gaps per bank,
+//! mitigation-pause intervals attributed to their cause, and Shannon
+//! entropies over all of them — the attacker-visible timing signal the
+//! side-channel scenarios rank mechanisms by.
+//!
+//! The probe is strictly observational: it is attached behind an
+//! `Option<Box<_>>` (one branch per issued command when off), records only
+//! at command-issue events — which the event-driven and reference loops
+//! produce identically — and never feeds back into scheduling, so enabling
+//! it cannot change any other report field.
+
+use chronus_dram::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Unit-width buckets for values below this bound.
+const LINEAR_BUCKETS: u64 = 32;
+/// Sub-buckets per power-of-two octave above the linear range.
+const OCTAVE_SPLIT: usize = 4;
+/// Upper bound on bucket indices (octaves 5..=63, four sub-buckets each).
+pub const MAX_BUCKETS: usize = LINEAR_BUCKETS as usize + (64 - 5) * OCTAVE_SPLIT;
+
+/// The bucket index of a value in the log-linear layout: values below 32
+/// get unit buckets; larger values split each power-of-two octave into
+/// four equal sub-buckets, keeping ~12% relative resolution at any
+/// magnitude with a fixed, deterministic layout.
+pub fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_BUCKETS {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros() as usize;
+        let sub = ((v >> (e - 2)) & 3) as usize;
+        LINEAR_BUCKETS as usize + (e - 5) * OCTAVE_SPLIT + sub
+    }
+}
+
+/// The smallest value landing in `bucket` (inverse of [`bucket_of`]).
+pub fn bucket_floor(bucket: usize) -> u64 {
+    if bucket < LINEAR_BUCKETS as usize {
+        bucket as u64
+    } else {
+        let rel = bucket - LINEAR_BUCKETS as usize;
+        let e = (rel / OCTAVE_SPLIT + 5) as u32;
+        let sub = (rel % OCTAVE_SPLIT) as u64;
+        (1u64 << e) + (sub << (e - 2))
+    }
+}
+
+/// A log-linear histogram of cycle counts (layout: [`bucket_of`]).
+///
+/// `counts` is stored dense from bucket 0 up to the highest occupied
+/// bucket (trailing zeros trimmed by construction: the vector only grows
+/// when a higher bucket is hit), so empty histograms serialize as `[]`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObsHistogram {
+    /// Per-bucket event counts.
+    pub counts: Vec<u64>,
+    /// Total events recorded.
+    pub total: u64,
+    /// Sum of recorded values (mean = `sum / total`).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl ObsHistogram {
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let b = bucket_of(v);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        if self.total == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.total += 1;
+        self.sum += v;
+    }
+
+    /// Shannon entropy of the bucket distribution, in bits (0 when empty).
+    pub fn entropy_bits(&self) -> f64 {
+        entropy_bits(&self.counts)
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+}
+
+/// Shannon entropy over a count vector, in bits.
+pub fn entropy_bits(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Why demand issue was blocked when a mitigation window opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PauseCause {
+    /// Periodic refresh service (urgent or opportunistic `REFab`, and its
+    /// `PREab` preamble).
+    Refresh,
+    /// PRAC/Chronus back-off recovery (`PREab`/`RFMab` until the alert
+    /// clears).
+    BackOff,
+    /// PRFM RAA-threshold RFM (the rank is held hot until the `RFMab`).
+    Raa,
+    /// Victim-row refresh service (`PRE` + `VRR`, strict priority over
+    /// demand).
+    Vrr,
+}
+
+/// Mitigation-pause visibility: intervals from a non-demand command issued
+/// while demand was pending until the next demand command, attributed to
+/// the cause that opened them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObsPauses {
+    /// Refresh-caused intervals.
+    pub refresh_intervals: u64,
+    /// Cycles inside refresh-caused intervals.
+    pub refresh_cycles: u64,
+    /// Back-off-recovery intervals.
+    pub backoff_intervals: u64,
+    /// Cycles inside back-off intervals.
+    pub backoff_cycles: u64,
+    /// PRFM RAA intervals.
+    pub raa_intervals: u64,
+    /// Cycles inside RAA intervals.
+    pub raa_cycles: u64,
+    /// Victim-row-refresh intervals.
+    pub vrr_intervals: u64,
+    /// Cycles inside VRR intervals.
+    pub vrr_cycles: u64,
+}
+
+impl ObsPauses {
+    fn note(&mut self, cause: PauseCause, cycles: u64) {
+        let (n, c) = match cause {
+            PauseCause::Refresh => (&mut self.refresh_intervals, &mut self.refresh_cycles),
+            PauseCause::BackOff => (&mut self.backoff_intervals, &mut self.backoff_cycles),
+            PauseCause::Raa => (&mut self.raa_intervals, &mut self.raa_cycles),
+            PauseCause::Vrr => (&mut self.vrr_intervals, &mut self.vrr_cycles),
+        };
+        *n += 1;
+        *c += cycles;
+    }
+
+    /// Total demand-blocked cycles across every cause.
+    pub fn total_cycles(&self) -> u64 {
+        self.refresh_cycles + self.backoff_cycles + self.raa_cycles + self.vrr_cycles
+    }
+
+    /// Total intervals across every cause.
+    pub fn total_intervals(&self) -> u64 {
+        self.refresh_intervals + self.backoff_intervals + self.raa_intervals + self.vrr_intervals
+    }
+}
+
+/// Row-locality outcome of one CAS, classified at service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowOutcome {
+    /// Served from the open row.
+    Hit,
+    /// Required an activation only.
+    Miss,
+    /// Required closing another row first.
+    Conflict,
+}
+
+/// Per-core latency histograms are kept for cores below this bound;
+/// controller-internal traffic (`core == u8::MAX`) is aggregate-only.
+const MAX_OBS_CORES: usize = 64;
+
+/// The live recording state attached to the controller while observability
+/// is enabled. Not serialized; [`ObsProbe::finish`] freezes it into the
+/// [`ObsReport`] that lands in the simulation report.
+#[derive(Debug)]
+pub struct ObsProbe {
+    latency: ObsHistogram,
+    per_core: Vec<ObsHistogram>,
+    hit_gaps: ObsHistogram,
+    miss_gaps: ObsHistogram,
+    conflict_gaps: ObsHistogram,
+    /// Last CAS cycle per flat bank (`Cycle::MAX` = none yet).
+    last_cas: Vec<Cycle>,
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+    pauses: ObsPauses,
+    pause_durations: ObsHistogram,
+    open_pause: Option<(PauseCause, Cycle)>,
+}
+
+impl ObsProbe {
+    /// A probe for a device with `total_banks` flat banks.
+    pub fn new(total_banks: usize) -> Self {
+        Self {
+            latency: ObsHistogram::default(),
+            per_core: Vec::new(),
+            hit_gaps: ObsHistogram::default(),
+            miss_gaps: ObsHistogram::default(),
+            conflict_gaps: ObsHistogram::default(),
+            last_cas: vec![Cycle::MAX; total_banks],
+            hits: 0,
+            misses: 0,
+            conflicts: 0,
+            pauses: ObsPauses::default(),
+            pause_durations: ObsHistogram::default(),
+            open_pause: None,
+        }
+    }
+
+    /// Records a completed demand read: arrival-to-data latency, aggregate
+    /// and per issuing core.
+    pub fn record_read(&mut self, core: u8, latency: u64) {
+        self.latency.record(latency);
+        let core = core as usize;
+        if core < MAX_OBS_CORES {
+            if self.per_core.len() <= core {
+                self.per_core.resize_with(core + 1, ObsHistogram::default);
+            }
+            self.per_core[core].record(latency);
+        }
+    }
+
+    /// Records one serviced CAS: the row-state outcome and the gap since
+    /// the previous CAS on the same bank (first touch records no gap).
+    pub fn record_cas(&mut self, flat_bank: usize, outcome: RowOutcome, now: Cycle) {
+        let gap = match self.last_cas[flat_bank] {
+            Cycle::MAX => None,
+            last => Some(now - last),
+        };
+        self.last_cas[flat_bank] = now;
+        let (count, hist) = match outcome {
+            RowOutcome::Hit => (&mut self.hits, &mut self.hit_gaps),
+            RowOutcome::Miss => (&mut self.misses, &mut self.miss_gaps),
+            RowOutcome::Conflict => (&mut self.conflicts, &mut self.conflict_gaps),
+        };
+        *count += 1;
+        if let Some(gap) = gap {
+            hist.record(gap);
+        }
+    }
+
+    /// A non-demand command issued while demand was pending: opens a pause
+    /// attributed to `cause`, or re-attributes an open one when the cause
+    /// changes (the earlier span is closed at `now`).
+    pub fn note_block(&mut self, cause: PauseCause, now: Cycle) {
+        match self.open_pause {
+            Some((open_cause, _)) if open_cause == cause => {}
+            Some((open_cause, start)) => {
+                self.close_pause(open_cause, start, now);
+                self.open_pause = Some((cause, now));
+            }
+            None => self.open_pause = Some((cause, now)),
+        }
+    }
+
+    /// A demand command issued: closes any open pause at `now`.
+    pub fn note_demand(&mut self, now: Cycle) {
+        if let Some((cause, start)) = self.open_pause.take() {
+            self.close_pause(cause, start, now);
+        }
+    }
+
+    fn close_pause(&mut self, cause: PauseCause, start: Cycle, end: Cycle) {
+        let cycles = end - start;
+        self.pauses.note(cause, cycles);
+        self.pause_durations.record(cycles);
+    }
+
+    /// Freezes the probe into a report; an open pause is closed at the
+    /// final memory cycle (identical in both simulation loops).
+    pub fn finish(mut self, mem_cycles: Cycle) -> ObsReport {
+        self.note_demand(mem_cycles);
+        let mut merged_gaps = self.hit_gaps.counts.clone();
+        for other in [&self.miss_gaps.counts, &self.conflict_gaps.counts] {
+            if merged_gaps.len() < other.len() {
+                merged_gaps.resize(other.len(), 0);
+            }
+            for (m, &c) in merged_gaps.iter_mut().zip(other) {
+                *m += c;
+            }
+        }
+        ObsReport {
+            latency_entropy_bits: self.latency.entropy_bits(),
+            gap_entropy_bits: entropy_bits(&merged_gaps),
+            outcome_entropy_bits: entropy_bits(&[self.hits, self.misses, self.conflicts]),
+            pause_entropy_bits: self.pause_durations.entropy_bits(),
+            read_latency: self.latency,
+            per_core_latency: self.per_core,
+            hit_gaps: self.hit_gaps,
+            miss_gaps: self.miss_gaps,
+            conflict_gaps: self.conflict_gaps,
+            pauses: self.pauses,
+            pause_durations: self.pause_durations,
+        }
+    }
+}
+
+/// The frozen observability section of a simulation report.
+///
+/// Like the rest of the report, `PartialEq` compares every field exactly:
+/// the loop-equivalence harness pins the fast and reference loops to
+/// bit-identical `ObsReport`s, and the grid store requires byte-identical
+/// re-serialization.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObsReport {
+    /// Demand-read latency (arrival → data), aggregate over all cores.
+    pub read_latency: ObsHistogram,
+    /// Demand-read latency per issuing core (dense up to the highest core
+    /// that completed a read; controller-internal traffic is excluded).
+    pub per_core_latency: Vec<ObsHistogram>,
+    /// Inter-CAS gap per bank for row-hit services.
+    pub hit_gaps: ObsHistogram,
+    /// Inter-CAS gap per bank for row-miss services.
+    pub miss_gaps: ObsHistogram,
+    /// Inter-CAS gap per bank for row-conflict services.
+    pub conflict_gaps: ObsHistogram,
+    /// Mitigation-pause intervals by cause.
+    pub pauses: ObsPauses,
+    /// Pause-duration distribution across every cause.
+    pub pause_durations: ObsHistogram,
+    /// Shannon entropy of the read-latency distribution, in bits.
+    pub latency_entropy_bits: f64,
+    /// Shannon entropy of the merged inter-CAS gap distribution, in bits.
+    pub gap_entropy_bits: f64,
+    /// Shannon entropy of the hit/miss/conflict outcome mix, in bits
+    /// (at most `log2 3`).
+    pub outcome_entropy_bits: f64,
+    /// Shannon entropy of the pause-duration distribution, in bits.
+    pub pause_entropy_bits: f64,
+}
+
+impl ObsReport {
+    /// The latency histogram the probe core observes (falls back to the
+    /// aggregate when that core completed no reads).
+    pub fn core_latency(&self, core: usize) -> &ObsHistogram {
+        self.per_core_latency
+            .get(core)
+            .unwrap_or(&self.read_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotonic_and_inverse_consistent() {
+        let mut prev = 0;
+        for v in (0..200u64).chain([1 << 10, (1 << 10) + 1, 1 << 20, u64::MAX]) {
+            let b = bucket_of(v);
+            assert!(b >= prev || v < 200, "bucket order broke at {v}");
+            prev = prev.max(b);
+            assert!(b < MAX_BUCKETS, "bucket {b} out of range for {v}");
+            assert!(
+                bucket_floor(b) <= v,
+                "floor({b}) = {} > {v}",
+                bucket_floor(b)
+            );
+            if b + 1 < MAX_BUCKETS {
+                assert!(bucket_floor(b + 1) > v, "value {v} beyond bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn linear_range_is_exact() {
+        for v in 0..32u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_summary_stats() {
+        let mut h = ObsHistogram::default();
+        for v in [5u64, 5, 100, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.total, 4);
+        assert_eq!(h.sum, 113);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.counts[5], 2);
+        assert!((h.mean() - 28.25).abs() < 1e-12);
+        // Trailing zeros trimmed: vector ends at the highest hit bucket.
+        assert_eq!(*h.counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn entropy_matches_closed_forms() {
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[7]), 0.0, "a point mass carries no bits");
+        assert!((entropy_bits(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy_bits(&[2, 2, 2, 2]) - 2.0).abs() < 1e-12);
+        let skewed = entropy_bits(&[30, 1, 1]);
+        assert!(skewed > 0.0 && skewed < entropy_bits(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn gaps_are_per_bank_and_skip_first_touch() {
+        let mut p = ObsProbe::new(4);
+        p.record_cas(0, RowOutcome::Miss, 100);
+        p.record_cas(1, RowOutcome::Miss, 110);
+        p.record_cas(0, RowOutcome::Hit, 130); // gap 30 on bank 0
+        p.record_cas(1, RowOutcome::Conflict, 170); // gap 60 on bank 1
+        let r = p.finish(1_000);
+        assert_eq!(r.miss_gaps.total, 0, "first touches record no gap");
+        assert_eq!(r.hit_gaps.total, 1);
+        assert_eq!(r.hit_gaps.min, 30);
+        assert_eq!(r.conflict_gaps.min, 60);
+        assert!((r.outcome_entropy_bits - entropy_bits(&[1, 2, 1])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauses_attribute_and_close() {
+        let mut p = ObsProbe::new(1);
+        p.note_block(PauseCause::Refresh, 100);
+        p.note_block(PauseCause::Refresh, 110); // same cause: extends
+        p.note_demand(150); // closes 50 cycles of refresh
+        p.note_block(PauseCause::Vrr, 200);
+        p.note_block(PauseCause::BackOff, 220); // re-attribution closes VRR
+        let r = p.finish(260); // open back-off closed at the end
+        assert_eq!(r.pauses.refresh_intervals, 1);
+        assert_eq!(r.pauses.refresh_cycles, 50);
+        assert_eq!(r.pauses.vrr_cycles, 20);
+        assert_eq!(r.pauses.backoff_cycles, 40);
+        assert_eq!(r.pauses.total_cycles(), 110);
+        assert_eq!(r.pauses.total_intervals(), 3);
+        assert_eq!(r.pause_durations.total, 3);
+    }
+
+    #[test]
+    fn per_core_latency_is_dense_and_internal_traffic_aggregate_only() {
+        let mut p = ObsProbe::new(1);
+        p.record_read(2, 40);
+        p.record_read(0, 20);
+        p.record_read(u8::MAX, 999); // controller-internal
+        let r = p.finish(10);
+        assert_eq!(r.read_latency.total, 3);
+        assert_eq!(r.per_core_latency.len(), 3);
+        assert_eq!(r.per_core_latency[0].total, 1);
+        assert_eq!(r.per_core_latency[1].total, 0);
+        assert_eq!(r.per_core_latency[2].total, 1);
+        assert_eq!(r.core_latency(1).total, 0);
+        assert_eq!(r.core_latency(9).total, 3, "missing core falls back");
+    }
+
+    #[test]
+    fn report_is_deterministic_for_identical_streams() {
+        let run = || {
+            let mut p = ObsProbe::new(2);
+            for i in 0..50u64 {
+                p.record_read((i % 3) as u8, 24 + (i * 7) % 90);
+                p.record_cas(
+                    (i % 2) as usize,
+                    match i % 3 {
+                        0 => RowOutcome::Hit,
+                        1 => RowOutcome::Miss,
+                        _ => RowOutcome::Conflict,
+                    },
+                    i * 13,
+                );
+            }
+            p.note_block(PauseCause::Refresh, 700);
+            p.note_demand(730);
+            p.finish(1_000)
+        };
+        assert_eq!(run(), run(), "identical streams must freeze identically");
+    }
+}

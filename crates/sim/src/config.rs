@@ -48,6 +48,10 @@ pub struct SimConfig {
     pub seed: u64,
     /// Safety limit on memory cycles (0 = none).
     pub max_mem_cycles: u64,
+    /// Attach the timing-observability probe (`chronus_ctrl::obs`): the
+    /// report gains an `ObsReport` section. Observational only — every
+    /// pre-existing report field is unchanged by this flag.
+    pub obs: bool,
 }
 
 impl SimConfig {
@@ -68,6 +72,7 @@ impl SimConfig {
             strict_timing: false,
             seed: 1,
             max_mem_cycles: 0,
+            obs: false,
         }
     }
 

@@ -1,6 +1,6 @@
 //! Simulation results.
 
-use chronus_ctrl::{CtrlMitigationStats, CtrlStats};
+use chronus_ctrl::{CtrlMitigationStats, CtrlStats, ObsReport};
 use chronus_dram::{DramStats, MitigationStats};
 use chronus_energy::EnergyBreakdown;
 use serde::{Deserialize, Serialize};
@@ -46,6 +46,9 @@ pub struct SimReport {
     /// True if the run hit the safety cycle limit before all cores
     /// finished.
     pub truncated: bool,
+    /// Timing-observability section; `None` unless `SimConfig::obs` was
+    /// set (the probe is opt-in and zero-cost when off).
+    pub obs: Option<ObsReport>,
 }
 
 impl SimReport {
@@ -94,6 +97,7 @@ mod tests {
             oracle_max_acts: None,
             oracle_flips: None,
             truncated: false,
+            obs: None,
         }
     }
 

@@ -62,7 +62,10 @@ impl System {
             raa_threshold: setup.raa_threshold,
             ..CtrlConfig::default()
         };
-        let ctrl = MemoryController::with_mitigation(ctrl_cfg, &dram, setup.ctrl_mitigation);
+        let mut ctrl = MemoryController::with_mitigation(ctrl_cfg, &dram, setup.ctrl_mitigation);
+        if cfg.obs {
+            ctrl.enable_obs();
+        }
         let llc = SharedLlc::new(cfg.llc);
         Self {
             cfg: cfg.clone(),
@@ -109,6 +112,7 @@ impl System {
         let mut cpu_credit: u64 = 0;
         let mut inflight = InflightSlab::new();
         let mut completions: Vec<Completion> = Vec::with_capacity(64);
+        let mut waiters: Vec<u64> = Vec::with_capacity(16);
         let mut truncated = false;
         // First cycle at which the controller could act again; recomputed
         // whenever new work reaches it.
@@ -130,6 +134,7 @@ impl System {
                     &mut cores,
                     &mut inflight,
                     &completions,
+                    &mut waiters,
                     mapping,
                     &geo,
                     mem_cycle,
@@ -265,6 +270,7 @@ impl System {
         let mut cpu_credit: u64 = 0;
         let mut inflight = InflightSlab::new();
         let mut completions: Vec<Completion> = Vec::with_capacity(64);
+        let mut waiters: Vec<u64> = Vec::with_capacity(16);
         let mut truncated = false;
 
         loop {
@@ -278,6 +284,7 @@ impl System {
                 &mut cores,
                 &mut inflight,
                 &completions,
+                &mut waiters,
                 mapping,
                 &geo,
                 mem_cycle,
@@ -326,6 +333,7 @@ impl System {
             // Remove sprint credit for cycles the run never reached.
             core.settle_retired(cpu_cycle.saturating_sub(1));
         }
+        let obs = self.ctrl.take_obs_report(mem_cycle);
         self.dram.finalize(mem_cycle);
         let mech_energy = match self.cfg.mechanism {
             MechanismKind::Prac1
@@ -359,6 +367,7 @@ impl System {
             oracle_max_acts: self.dram.oracle().map(|o| o.max_aggressor_acts()),
             oracle_flips: self.dram.oracle().map(|o| o.flips()),
             truncated,
+            obs,
         }
     }
 }
@@ -373,6 +382,7 @@ fn deliver_fills(
     cores: &mut [SimpleO3Core],
     inflight: &mut InflightSlab,
     completions: &[Completion],
+    waiters: &mut Vec<u64>,
     mapping: chronus_ctrl::AddressMapping,
     geo: &Geometry,
     mem_cycle: u64,
@@ -383,12 +393,12 @@ fn deliver_fills(
         let Some(read) = inflight.take(c.id) else {
             continue;
         };
-        let fill = llc.on_fill(read.line_addr, read.uncached);
-        for token in fill.waiters {
+        let writeback = llc.on_fill(read.line_addr, read.uncached, waiters);
+        for token in waiters.drain(..) {
             let core = SimpleO3Core::token_core(token) as usize;
             cores[core].on_mem_complete(token, cpu_cycle);
         }
-        if let Some(victim) = fill.writeback {
+        if let Some(victim) = writeback {
             let addr = mapping.decode(victim, geo);
             // Writebacks are controller-internal; when the write queue is
             // full the modelled writeback is dropped (it only under-counts
@@ -437,7 +447,7 @@ fn forward_llc_requests(
             id,
             kind,
             addr,
-            core: 0,
+            core: req.core,
             arrived: mem_cycle,
         });
         debug_assert!(accepted);
@@ -550,6 +560,27 @@ mod tests {
         let naive = System::build(&cfg).run_reference(vec![trace_for("511.povray", 0)]);
         assert!(fast.truncated && naive.truncated);
         assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn obs_report_present_iff_enabled() {
+        let cfg = quick_cfg(MechanismKind::None, 1024);
+        let off = System::build(&cfg).run(vec![trace_for("429.mcf", 0)]);
+        assert!(off.obs.is_none(), "obs is opt-in");
+        let mut cfg_on = cfg.clone();
+        cfg_on.obs = true;
+        let on = System::build(&cfg_on).run(vec![trace_for("429.mcf", 0)]);
+        let obs = on.obs.as_ref().expect("obs enabled");
+        // The histogram is the distribution behind the existing scalars.
+        assert_eq!(obs.read_latency.total, on.ctrl.reads_served);
+        assert_eq!(obs.read_latency.sum, on.ctrl.read_latency_sum);
+        assert!(obs.latency_entropy_bits > 0.0, "mcf latencies vary");
+        // Periodic refresh under demand traffic must be visible as pauses.
+        assert!(obs.pauses.refresh_intervals > 0);
+        // Observational only: everything else bit-identical to the off run.
+        let mut stripped = on.clone();
+        stripped.obs = None;
+        assert_eq!(stripped, off, "obs flag must not perturb the simulation");
     }
 
     #[test]

@@ -219,6 +219,57 @@ fn write_drain_thrash_is_bit_identical() {
 }
 
 #[test]
+fn obs_reports_are_bit_identical_across_loops() {
+    // The observability probe samples at command-issue events, which both
+    // loops execute in the same order at the same cycles — so the entire
+    // ObsReport (histograms, pause intervals, entropy floats) must match
+    // bit for bit, exactly like every other report field. A divergence
+    // here means a hook fired on a loop-specific path (e.g. per tick).
+    for mech in MECHANISMS {
+        for nrh in NRH_POINTS {
+            let mut cfg = single_cfg(mech, nrh, 3_000);
+            cfg.obs = true;
+            let trace = || synthetic_app("429.mcf", 0).unwrap().generate(3_600, 11);
+            let fast = System::build(&cfg).run(vec![trace()]);
+            let naive = System::build(&cfg).run_reference(vec![trace()]);
+            let what = format!("obs {mech}@{nrh}");
+            assert!(fast.obs.is_some(), "{what}: probe did not report");
+            assert_eq!(fast.obs, naive.obs, "{what}: ObsReport diverged");
+            assert_identical(&fast, &naive, &what);
+        }
+    }
+}
+
+#[test]
+fn obs_probe_never_perturbs_the_simulation() {
+    // The probe is strictly observational: with obs on, every
+    // pre-existing report field must be bit-identical to the obs-off run
+    // of the same cell. Mechanisms with heavy mitigation traffic (pause
+    // hooks firing constantly) are the interesting cases.
+    for (mech, nrh) in [
+        (MechanismKind::None, 1024),
+        (MechanismKind::Prac4, 64),
+        (MechanismKind::Chronus, 64),
+        (MechanismKind::Graphene, 64),
+    ] {
+        let cfg_off = single_cfg(mech, nrh, 3_000);
+        let mut cfg_on = cfg_off.clone();
+        cfg_on.obs = true;
+        let trace = || synthetic_app("429.mcf", 0).unwrap().generate(3_600, 11);
+        let off = System::build(&cfg_off).run(vec![trace()]);
+        let on = System::build(&cfg_on).run(vec![trace()]);
+        assert!(off.obs.is_none(), "{mech}@{nrh}: obs-off run has a report");
+        assert!(on.obs.is_some(), "{mech}@{nrh}: obs-on run lost its report");
+        let mut stripped = on.clone();
+        stripped.obs = None;
+        assert_eq!(
+            stripped, off,
+            "{mech}@{nrh}: the probe changed a pre-existing report field"
+        );
+    }
+}
+
+#[test]
 fn remaining_mechanisms_match_on_a_smoke_point() {
     // Everything the headline matrix skips still has to agree.
     for mech in [

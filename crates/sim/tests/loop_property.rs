@@ -66,8 +66,13 @@ proptest! {
         cfg.mechanism = mech;
         cfg.nrh = nrh;
         cfg.max_mem_cycles = insts * 10_000;
+        // Attach the observability probe on half the sampled space
+        // (deterministically, so failures replay): obs-on cases must stay
+        // bit-identical including the ObsReport section.
+        cfg.obs = nrh_exp % 2 == 0;
         let fast = System::build(&cfg).run(vec![trace.clone()]);
         let naive = System::build(&cfg).run_reference(vec![trace]);
+        prop_assert_eq!(fast.obs.is_some(), cfg.obs, "obs presence mismatch");
         prop_assert_eq!(&fast, &naive, "{}@{} diverged", mech, nrh);
     }
 }

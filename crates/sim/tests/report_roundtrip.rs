@@ -7,11 +7,16 @@ use chronus_sim::{SimConfig, SimReport, System};
 use chronus_workloads::synthetic_app;
 
 fn small_report(mech: MechanismKind, oracle: bool) -> (SimConfig, SimReport) {
+    small_report_obs(mech, oracle, false)
+}
+
+fn small_report_obs(mech: MechanismKind, oracle: bool, obs: bool) -> (SimConfig, SimReport) {
     let mut cfg = SimConfig::single_core();
     cfg.instructions_per_core = 8_000;
     cfg.mechanism = mech;
     cfg.nrh = 64;
     cfg.oracle = oracle;
+    cfg.obs = obs;
     let trace = synthetic_app("429.mcf", 0)
         .expect("known app")
         .generate(10_000, 3);
@@ -48,6 +53,22 @@ fn report_roundtrip_mechanism_with_oracle() {
     // paths and the mitigation counters.
     let (_, report) = small_report(MechanismKind::Chronus, true);
     assert!(report.oracle_max_acts.is_some());
+    assert_roundtrip(&report);
+}
+
+#[test]
+fn report_roundtrip_with_obs_section() {
+    // The ObsReport section carries histograms and entropy floats; the
+    // store format requires those to survive serialize → parse →
+    // re-serialize byte-identically (the f64 writer emits the shortest
+    // round-trippable form).
+    let (_, report) = small_report_obs(MechanismKind::Chronus, false, true);
+    let obs = report.obs.as_ref().expect("obs was enabled");
+    assert!(obs.read_latency.total > 0, "probe recorded no reads");
+    assert!(
+        obs.latency_entropy_bits > 0.0,
+        "a real workload has latency spread"
+    );
     assert_roundtrip(&report);
 }
 
