@@ -10,8 +10,10 @@
 
 use chronus_core::MechanismKind;
 use chronus_ctrl::AddressMapping;
-use chronus_grid::{AppTrace, AttackSpec, CellSpec, GridOutcome, GridSpec, WorkloadSpec};
-use chronus_sim::{SimConfig, SimReport};
+use chronus_grid::{
+    AppTrace, AttackSpec, BatchSpec, CellSpec, GridOutcome, GridSpec, WorkloadSpec,
+};
+use chronus_sim::{SimConfig, SimReport, VrdSpec};
 use chronus_workloads::{all_profiles, eight_core_spec17_profiles, four_core_mixes, Mix};
 use serde::Serialize;
 
@@ -32,6 +34,7 @@ pub const GRID_NAMES: &[&str] = &[
     "ablation",
     "perf_attack",
     "leakage",
+    "vrd-sweep",
     "smoke",
 ];
 
@@ -103,6 +106,7 @@ pub fn build_spec(name: &str, opts: &HarnessOpts) -> Option<GridSpec> {
         "ablation" => AblationGrid::build(opts).spec,
         "perf_attack" => PerfAttackGrid::build(opts).spec,
         "leakage" => LeakageGrid::build(opts).spec,
+        "vrd-sweep" => VrdSweepGrid::build(opts).spec,
         "smoke" => smoke_grid(),
         _ => return None,
     };
@@ -634,6 +638,111 @@ impl LeakageGrid {
     }
 }
 
+/// One VRD Monte-Carlo output row: the disturbance census of one
+/// `min_pct` distribution, aggregated across the seed samples.
+#[derive(Debug, Clone, Serialize)]
+pub struct VrdRow {
+    /// Weakest-row threshold as a percentage of the nominal N_RH (100 =
+    /// degenerate: every row at the nominal).
+    pub min_pct: u32,
+    /// Nominal RowHammer threshold.
+    pub nominal_nrh: u32,
+    /// Seed samples aggregated.
+    pub samples: usize,
+    /// Fewest oracle flips observed across samples.
+    pub flips_min: u64,
+    /// Mean oracle flips across samples.
+    pub flips_mean: f64,
+    /// Most oracle flips observed across samples.
+    pub flips_max: u64,
+}
+
+/// Seed samples per `min_pct` point of the VRD sweep.
+pub const VRD_SEEDS: usize = 16;
+
+/// The `min_pct` points of the VRD sweep: the degenerate (scalar-
+/// equivalent) distribution and a 2× spread.
+pub const VRD_MIN_PCTS: [u32; 2] = [100, 50];
+
+/// The Variable Read Disturbance Monte-Carlo study as a grid: an
+/// unmitigated single-core 429.mcf run whose ground-truth oracle samples
+/// per-row thresholds from `[nrh·min_pct/100, nrh]`, swept over
+/// [`VRD_SEEDS`] sampling seeds per [`VRD_MIN_PCTS`] point. Every cell
+/// shares one workload and differs only in oracle parameters, so the
+/// entire grid is one timing cohort under `--batched` — the flagship
+/// workload of the batched lockstep engine.
+pub struct VrdSweepGrid {
+    /// The declarative grid.
+    pub spec: GridSpec,
+    /// (min_pct, member cells).
+    jobs: Vec<(u32, Vec<usize>)>,
+}
+
+impl VrdSweepGrid {
+    /// Builds the grid.
+    pub fn build(opts: &HarnessOpts) -> Self {
+        let workload = WorkloadSpec::Apps {
+            apps: vec![AppTrace::new("429.mcf", 0, opts.seed)],
+            trace_instructions: opts.instructions + opts.instructions / 10,
+        };
+        let nominal = opts.nrh_list.first().copied().unwrap_or(1024);
+        let mut spec = GridSpec::new("vrd-sweep");
+        let mut jobs = Vec::new();
+        for &min_pct in &VRD_MIN_PCTS {
+            let configs: Vec<SimConfig> = (0..VRD_SEEDS)
+                .map(|s| {
+                    let mut cfg = SimConfig::single_core();
+                    cfg.instructions_per_core = opts.instructions;
+                    cfg.nrh = nominal;
+                    cfg.seed = opts.seed;
+                    cfg.oracle = true;
+                    cfg.vrd = Some(VrdSpec {
+                        min_pct,
+                        seed: opts.seed + s as u64,
+                    });
+                    cfg.max_mem_cycles = opts.instructions.saturating_mul(6000).max(1 << 22);
+                    cfg
+                })
+                .collect();
+            let start = spec.len();
+            BatchSpec::new(format!("vrd{min_pct}"), workload.clone(), configs).push_onto(&mut spec);
+            jobs.push((min_pct, (start..spec.len()).collect()));
+        }
+        Self { spec, jobs }
+    }
+
+    /// Assembles rows; `min_pct` points with any missing sample (partial
+    /// shard) are skipped.
+    pub fn rows(&self, outcome: &GridOutcome) -> Vec<VrdRow> {
+        let mut rows = Vec::new();
+        for (min_pct, cells) in &self.jobs {
+            let mut flips = Vec::new();
+            let mut nominal = 0;
+            let mut complete = true;
+            for &cell in cells {
+                let Some(report) = outcome.reports[cell].as_ref() else {
+                    complete = false;
+                    break;
+                };
+                nominal = report.nrh;
+                flips.push(report.oracle_flips.unwrap_or(0));
+            }
+            if !complete || flips.is_empty() {
+                continue;
+            }
+            rows.push(VrdRow {
+                min_pct: *min_pct,
+                nominal_nrh: nominal,
+                samples: flips.len(),
+                flips_min: *flips.iter().min().expect("non-empty"),
+                flips_mean: flips.iter().sum::<u64>() as f64 / flips.len() as f64,
+                flips_max: *flips.iter().max().expect("non-empty"),
+            });
+        }
+        rows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -683,6 +792,23 @@ mod tests {
             assert_eq!(cell.config.nrh, LEAKAGE_NRH);
             assert_eq!(cell.config.num_cores, 2, "one benign app + the attacker");
         }
+    }
+
+    #[test]
+    fn vrd_sweep_is_one_timing_cohort() {
+        let grid = VrdSweepGrid::build(&tiny());
+        assert_eq!(grid.spec.len(), VRD_SEEDS * VRD_MIN_PCTS.len());
+        for cell in &grid.spec.cells {
+            assert!(cell.config.oracle, "{}: VRD needs the oracle", cell.label);
+            assert!(cell.config.vrd.is_some());
+            assert_eq!(cell.config.mechanism, MechanismKind::None);
+            // One shared workload: the whole grid batches into one group.
+            assert_eq!(cell.workload, grid.spec.cells[0].workload);
+        }
+        // Distinct cells: every member hashes uniquely.
+        let hashes = grid.spec.hashes();
+        let unique: std::collections::HashSet<_> = hashes.iter().collect();
+        assert_eq!(unique.len(), hashes.len());
     }
 
     #[test]

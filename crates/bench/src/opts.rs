@@ -32,6 +32,12 @@ pub struct HarnessOpts {
     /// (`--obs`): reports gain an `ObsReport` section. Changes cell keys
     /// (obs cells cache separately) but no pre-existing report field.
     pub obs: bool,
+    /// Fill cache misses through the batched lockstep engine
+    /// (`--batched`): cells sharing a workload generate traces once and
+    /// timing-identical variants collapse into one simulation. Store
+    /// entries are byte-identical to solo runs — this flag changes only
+    /// how fast misses fill.
+    pub batched: bool,
     /// Retry budget override for failed cells (`--retries N`); `None`
     /// keeps the grid default.
     pub retries: Option<u32>,
@@ -59,6 +65,7 @@ impl Default for HarnessOpts {
             no_cache: false,
             quiet: false,
             obs: false,
+            batched: false,
             retries: None,
             cell_timeout: None,
             lease_ttl: None,
@@ -79,7 +86,14 @@ pub enum ParseOutcome {
 /// The flags of [`HarnessOpts::parse_from`] that take no value argument.
 /// Argument pre-splitters (`chronus-sweep` separates positionals from
 /// flags) consult this so flag arity is defined in exactly one place.
-pub const VALUELESS_FLAGS: &[&str] = &["--no-cache", "--quiet", "--obs", "--help", "-h"];
+pub const VALUELESS_FLAGS: &[&str] = &[
+    "--no-cache",
+    "--quiet",
+    "--obs",
+    "--batched",
+    "--help",
+    "-h",
+];
 
 impl HarnessOpts {
     /// Parses `std::env::args`, printing usage on `--help` (exit 0) and a
@@ -105,7 +119,7 @@ impl HarnessOpts {
             "{tool}: regenerates one artefact of the Chronus paper.\n\
              flags: --instructions N --mixes N --threads N --seed N \
              --nrh a,b,c --out FILE\n\
-             grid:  --shard i/N --grid-dir DIR --no-cache --quiet --obs\n\
+             grid:  --shard i/N --grid-dir DIR --no-cache --quiet --obs --batched\n\
              fault: --retries N --cell-timeout SECS --lease-ttl SECS \
              (env: CHRONUS_FAULTS)"
         )
@@ -169,6 +183,7 @@ impl HarnessOpts {
                 "--no-cache" => o.no_cache = true,
                 "--quiet" => o.quiet = true,
                 "--obs" => o.obs = true,
+                "--batched" => o.batched = true,
                 "--help" | "-h" => return Err(ParseOutcome::Help),
                 other => return Err(ParseOutcome::Invalid(format!("unknown flag '{other}'"))),
             }
@@ -243,6 +258,7 @@ mod tests {
             "--no-cache",
             "--quiet",
             "--obs",
+            "--batched",
         ])
         .unwrap();
         assert_eq!(o.instructions, 9_000);
@@ -259,7 +275,9 @@ mod tests {
         assert!(o.no_cache);
         assert!(o.quiet);
         assert!(o.obs);
+        assert!(o.batched);
         assert!(!HarnessOpts::default().obs, "obs is opt-in");
+        assert!(!HarnessOpts::default().batched, "batched is opt-in");
     }
 
     #[test]

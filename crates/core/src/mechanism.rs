@@ -105,6 +105,14 @@ impl MechanismKind {
             _ => AddressMapping::Mop,
         }
     }
+
+    /// Whether the built mechanism consumes the RNG seed (only PARA draws
+    /// from it). The batch engine folds seed-insensitive variants into one
+    /// simulation, so this must stay exact: report `true` for any new
+    /// mechanism that reads `seed` in `build_with_threshold`.
+    pub fn uses_seed(&self) -> bool {
+        matches!(self, MechanismKind::Para)
+    }
 }
 
 impl std::fmt::Display for MechanismKind {

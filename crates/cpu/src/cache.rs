@@ -5,6 +5,7 @@
 //! writebacks surface as [`UncoreRequest`]s that the simulator forwards to
 //! the memory controller; fills come back through [`SharedLlc::on_fill`].
 
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
@@ -104,7 +105,19 @@ struct Mshr {
 #[derive(Debug)]
 pub struct SharedLlc {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation, set-major: set `s` occupies
+    /// `lines[s * ways .. (s + 1) * ways]`. One contiguous block keeps the
+    /// per-access way scan on a single cache line instead of chasing a
+    /// per-set `Vec` pointer.
+    lines: Vec<Line>,
+    /// `line_bytes - 1` complement, precomputed (line alignment mask).
+    line_mask: u64,
+    /// `log2(line_bytes)`, precomputed (line → line-index shift).
+    line_shift: u32,
+    /// Number of sets, precomputed (not necessarily a power of two — the
+    /// Kim'25 36 MiB configuration has 73728 sets — so indexing stays a
+    /// modulo, but of a cached value).
+    num_sets: u64,
     mshr: HashMap<u64, Mshr>,
     /// Uncached loads in flight: line address → waiter FIFO. Unlike MSHRs,
     /// uncached loads never merge (clflush-hammer semantics): every load
@@ -121,22 +134,25 @@ pub struct SharedLlc {
 impl SharedLlc {
     /// An empty cache.
     pub fn new(cfg: CacheConfig) -> Self {
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = cfg.sets();
         Self {
             cfg,
-            sets: (0..sets)
-                .map(|_| {
-                    vec![
-                        Line {
-                            tag: 0,
-                            dirty: false,
-                            lru: 0,
-                            valid: false,
-                        };
-                        cfg.ways
-                    ]
-                })
-                .collect(),
+            lines: vec![
+                Line {
+                    tag: 0,
+                    dirty: false,
+                    lru: 0,
+                    valid: false,
+                };
+                sets * cfg.ways
+            ],
+            line_mask: !(cfg.line_bytes as u64 - 1),
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            num_sets: sets as u64,
             mshr: HashMap::new(),
             uncached: HashMap::new(),
             uncached_outstanding: 0,
@@ -153,18 +169,24 @@ impl SharedLlc {
     }
 
     fn line_addr(&self, addr: u64) -> u64 {
-        addr & !(self.cfg.line_bytes as u64 - 1)
+        addr & self.line_mask
     }
 
     fn set_of(&self, line_addr: u64) -> usize {
-        ((line_addr / self.cfg.line_bytes as u64) % self.sets.len() as u64) as usize
+        ((line_addr >> self.line_shift) % self.num_sets) as usize
+    }
+
+    /// The ways of the set holding `line_addr`, as one contiguous slice.
+    fn set_ways(&mut self, line_addr: u64) -> &mut [Line] {
+        let base = self.set_of(line_addr) * self.cfg.ways;
+        &mut self.lines[base..base + self.cfg.ways]
     }
 
     fn probe(&mut self, line_addr: u64) -> Option<&mut Line> {
-        let set = self.set_of(line_addr);
         self.lru_clock += 1;
         let clock = self.lru_clock;
-        let line = self.sets[set]
+        let line = self
+            .set_ways(line_addr)
             .iter_mut()
             .find(|l| l.valid && l.tag == line_addr)?;
         line.lru = clock;
@@ -179,31 +201,36 @@ impl SharedLlc {
             self.hits += 1;
             return LoadResult::Hit;
         }
-        if let Some(m) = self.mshr.get_mut(&line) {
-            m.waiters.push(token);
-            m.fill = true;
-            self.misses += 1;
-            return LoadResult::Miss;
+        // One hash walk for merge + capacity check + allocation: capacity
+        // only gates *new* entries, so it is read before the entry borrow.
+        let at_capacity = self.mshr.len() >= self.cfg.mshrs;
+        match self.mshr.entry(line) {
+            Entry::Occupied(mut e) => {
+                let m = e.get_mut();
+                m.waiters.push(token);
+                m.fill = true;
+                self.misses += 1;
+                LoadResult::Miss
+            }
+            Entry::Vacant(v) => {
+                if at_capacity {
+                    return LoadResult::Rejected;
+                }
+                self.misses += 1;
+                v.insert(Mshr {
+                    waiters: vec![token],
+                    fill: true,
+                    dirty: false,
+                });
+                self.outbox.push_back(UncoreRequest {
+                    line_addr: line,
+                    write: false,
+                    uncached: false,
+                    core: SimpleO3Core::token_core(token),
+                });
+                LoadResult::Miss
+            }
         }
-        if self.mshr.len() >= self.cfg.mshrs {
-            return LoadResult::Rejected;
-        }
-        self.misses += 1;
-        self.mshr.insert(
-            line,
-            Mshr {
-                waiters: vec![token],
-                fill: true,
-                dirty: false,
-            },
-        );
-        self.outbox.push_back(UncoreRequest {
-            line_addr: line,
-            write: false,
-            uncached: false,
-            core: SimpleO3Core::token_core(token),
-        });
-        LoadResult::Miss
     }
 
     /// A store (write-allocate) from `core`: hit marks dirty and
@@ -217,31 +244,34 @@ impl SharedLlc {
             self.hits += 1;
             return true;
         }
-        if let Some(m) = self.mshr.get_mut(&line) {
-            m.fill = true;
-            m.dirty = true;
-            self.misses += 1;
-            return true;
+        let at_capacity = self.mshr.len() >= self.cfg.mshrs;
+        match self.mshr.entry(line) {
+            Entry::Occupied(mut e) => {
+                let m = e.get_mut();
+                m.fill = true;
+                m.dirty = true;
+                self.misses += 1;
+                true
+            }
+            Entry::Vacant(v) => {
+                if at_capacity {
+                    return false;
+                }
+                self.misses += 1;
+                v.insert(Mshr {
+                    waiters: Vec::new(),
+                    fill: true,
+                    dirty: true,
+                });
+                self.outbox.push_back(UncoreRequest {
+                    line_addr: line,
+                    write: false,
+                    uncached: false,
+                    core,
+                });
+                true
+            }
         }
-        if self.mshr.len() >= self.cfg.mshrs {
-            return false;
-        }
-        self.misses += 1;
-        self.mshr.insert(
-            line,
-            Mshr {
-                waiters: Vec::new(),
-                fill: true,
-                dirty: true,
-            },
-        );
-        self.outbox.push_back(UncoreRequest {
-            line_addr: line,
-            write: false,
-            uncached: false,
-            core,
-        });
-        true
     }
 
     /// Marks a previously filled line dirty (deferred store completion on
@@ -313,10 +343,10 @@ impl SharedLlc {
         waiters.extend_from_slice(&m.waiters);
         let mut writeback = None;
         if m.fill {
-            let set = self.set_of(line_addr);
             self.lru_clock += 1;
             let clock = self.lru_clock;
-            let victim = self.sets[set]
+            let victim = self
+                .set_ways(line_addr)
                 .iter_mut()
                 .min_by_key(|l| if l.valid { l.lru } else { 0 })
                 .expect("ways >= 1");

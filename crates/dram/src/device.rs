@@ -10,7 +10,7 @@ use crate::bank::{Bank, BankState};
 use crate::command::Command;
 use crate::geometry::{victims_of, BankId, Geometry, RowId};
 use crate::mitigation::{DramMitigation, MitigationStats, NoMitigation};
-use crate::oracle::DisturbOracle;
+use crate::oracle::{DisturbOracle, ThresholdModel};
 use crate::rank::Rank;
 use crate::stats::DramStats;
 use crate::timing::{TimingMode, Timings, TimingsNs};
@@ -29,6 +29,10 @@ pub struct DramConfig {
     pub blast_radius: u32,
     /// If set, attach a [`DisturbOracle`] with this `N_RH`.
     pub oracle_nrh: Option<u32>,
+    /// If set, attach a [`DisturbOracle`] with this threshold model
+    /// (takes precedence over `oracle_nrh`); per-row Variable Read
+    /// Disturbance distributions come in through here.
+    pub oracle_model: Option<ThresholdModel>,
     /// Panic on timing violations instead of silently refusing; used by
     /// tests and debug runs.
     pub strict: bool,
@@ -48,6 +52,7 @@ impl DramConfig {
             timings: TimingsNs::for_mode(mode).resolve(),
             blast_radius: 2,
             oracle_nrh: None,
+            oracle_model: None,
             strict: cfg!(debug_assertions),
         }
     }
@@ -100,8 +105,12 @@ impl DramDevice {
             .map(|_| Rank::new(&cfg.geometry))
             .collect();
         let oracle = cfg
-            .oracle_nrh
-            .map(|nrh| DisturbOracle::new(cfg.geometry, cfg.blast_radius, nrh));
+            .oracle_model
+            .map(|model| DisturbOracle::with_model(cfg.geometry, cfg.blast_radius, model))
+            .or_else(|| {
+                cfg.oracle_nrh
+                    .map(|nrh| DisturbOracle::new(cfg.geometry, cfg.blast_radius, nrh))
+            });
         Self {
             cfg,
             ranks,
@@ -300,6 +309,14 @@ impl DramDevice {
     /// The disturbance oracle, if enabled.
     pub fn oracle(&self) -> Option<&DisturbOracle> {
         self.oracle.as_ref()
+    }
+
+    /// Replaces the attached oracle. The batch engine uses this right
+    /// after construction to install a multi-lane oracle that judges one
+    /// run against every batch member's threshold model; the oracle is
+    /// purely observational, so swapping it never perturbs timing.
+    pub fn set_oracle(&mut self, oracle: Option<DisturbOracle>) {
+        self.oracle = oracle;
     }
 
     /// Informs the oracle that a controller-side mechanism has finished

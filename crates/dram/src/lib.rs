@@ -45,7 +45,7 @@ pub use command::Command;
 pub use device::{DramConfig, DramDevice};
 pub use geometry::{BankId, DramAddr, Geometry, RowId};
 pub use mitigation::{DramMitigation, MitigationStats, NoMitigation, RfmOutcome};
-pub use oracle::DisturbOracle;
+pub use oracle::{DisturbOracle, ThresholdModel};
 pub use stats::DramStats;
 pub use timing::{TimingMode, Timings, TimingsNs};
 

@@ -7,8 +7,92 @@
 //! that a configuration keeps every row below `N_RH` (the paper's security
 //! criterion, §8: a system is secure iff `A(i) < N_RH` for all rows at all
 //! times — here expressed from the victim's perspective).
+//!
+//! Two refinements support the Monte-Carlo batch engine:
+//!
+//! * **Per-row thresholds** ([`ThresholdModel::PerRow`]): Variable Read
+//!   Disturbance models `N_RH` as a per-row random variable. The per-row
+//!   threshold is a pure hash of `(bank, row, seed)` — no per-row storage,
+//!   deterministic across runs and processes.
+//! * **Lanes**: the counter state (`acts`/`damage`) depends only on the
+//!   command stream, never on the threshold, so one oracle can judge the
+//!   same run against many threshold models at once. Each lane carries its
+//!   own model and would-be-bitflip count; lane 0 is the "primary" lane the
+//!   scalar accessors report.
 
 use crate::geometry::{victims_of, BankId, Geometry, RowId};
+
+/// How the would-be-bitflip threshold is assigned to rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdModel {
+    /// Every row flips at the same activation count (the classic scalar
+    /// `N_RH`).
+    Uniform(u32),
+    /// Per-row thresholds drawn uniformly from `[floor, nominal]` by a
+    /// deterministic hash of `(bank, row, seed)` — the Variable Read
+    /// Disturbance model. `floor == nominal` degenerates to
+    /// [`ThresholdModel::Uniform`] behaviour exactly.
+    PerRow {
+        /// The nominal (maximum) threshold; reported as `nrh`.
+        nominal: u32,
+        /// The weakest row's threshold (≥ 1, ≤ `nominal`).
+        floor: u32,
+        /// Sampling seed for the per-row hash.
+        seed: u64,
+    },
+}
+
+/// SplitMix64: a full-period 64-bit finalizer; one application per
+/// `(bank, row)` gives an i.i.d.-quality per-row draw.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ThresholdModel {
+    /// The flip threshold of one row.
+    pub fn threshold_of(&self, flat_bank: usize, row: RowId) -> u32 {
+        match *self {
+            ThresholdModel::Uniform(nrh) => nrh,
+            ThresholdModel::PerRow {
+                nominal,
+                floor,
+                seed,
+            } => {
+                debug_assert!(floor >= 1 && floor <= nominal);
+                let span = (nominal - floor + 1) as u64;
+                let h = splitmix64(seed ^ splitmix64(((flat_bank as u64) << 32) | row as u64));
+                floor + (h % span) as u32
+            }
+        }
+    }
+
+    /// The smallest threshold any row can have — the fast-skip bound for
+    /// the activation hot path.
+    pub fn min_threshold(&self) -> u32 {
+        match *self {
+            ThresholdModel::Uniform(nrh) => nrh,
+            ThresholdModel::PerRow { floor, .. } => floor,
+        }
+    }
+
+    /// The nominal threshold (what reports call `nrh`).
+    pub fn nominal(&self) -> u32 {
+        match *self {
+            ThresholdModel::Uniform(nrh) => nrh,
+            ThresholdModel::PerRow { nominal, .. } => nominal,
+        }
+    }
+}
+
+/// One threshold model judging the shared counter state.
+#[derive(Debug, Clone)]
+struct OracleLane {
+    model: ThresholdModel,
+    flips: u64,
+}
 
 /// Per-row disturbance counters with would-be-bitflip detection.
 ///
@@ -22,34 +106,60 @@ use crate::geometry::{victims_of, BankId, Geometry, RowId};
 ///   neighbours since it was last refreshed — a diagnostic for
 ///   probabilistic mechanisms such as PARA that refresh victims
 ///   individually.
+///
+/// Counters live in flat structure-of-arrays vectors (`flat_bank × rows`)
+/// shared by every lane; only the flip verdicts are per-lane.
 #[derive(Debug, Clone)]
 pub struct DisturbOracle {
     geo: Geometry,
     blast_radius: u32,
-    nrh: u32,
-    /// damage[flat_bank][row] = disturbances absorbed since last refresh.
-    damage: Vec<Vec<u32>>,
-    /// acts[flat_bank][row] = A(row): activations since the row's victims
-    /// were refreshed.
-    acts: Vec<Vec<u32>>,
+    /// damage[flat_bank * rows + row] = disturbances absorbed since last
+    /// refresh.
+    damage: Vec<u32>,
+    /// acts[flat_bank * rows + row] = A(row): activations since the row's
+    /// victims were refreshed.
+    acts: Vec<u32>,
     max_damage: u32,
     max_acts: u32,
-    flips: u64,
+    lanes: Vec<OracleLane>,
+    /// min over lanes of `min_threshold()`: activation counts below this
+    /// can never flip any lane.
+    min_thr: u32,
 }
 
 impl DisturbOracle {
     /// Creates an oracle that flags aggressors reaching `nrh` activations.
     pub fn new(geo: Geometry, blast_radius: u32, nrh: u32) -> Self {
-        let banks = geo.total_banks();
+        Self::with_model(geo, blast_radius, ThresholdModel::Uniform(nrh))
+    }
+
+    /// An oracle with a single (possibly per-row) threshold model.
+    pub fn with_model(geo: Geometry, blast_radius: u32, model: ThresholdModel) -> Self {
+        Self::with_lanes(geo, blast_radius, vec![model])
+    }
+
+    /// An oracle judging the same command stream against several threshold
+    /// models at once (one lane per model; lane order is preserved).
+    pub fn with_lanes(geo: Geometry, blast_radius: u32, models: Vec<ThresholdModel>) -> Self {
+        assert!(!models.is_empty(), "oracle needs at least one lane");
+        let cells = geo.total_banks() * geo.rows;
+        let min_thr = models
+            .iter()
+            .map(ThresholdModel::min_threshold)
+            .min()
+            .expect("non-empty");
         Self {
             geo,
             blast_radius,
-            nrh,
-            damage: (0..banks).map(|_| vec![0u32; geo.rows]).collect(),
-            acts: (0..banks).map(|_| vec![0u32; geo.rows]).collect(),
+            damage: vec![0u32; cells],
+            acts: vec![0u32; cells],
             max_damage: 0,
             max_acts: 0,
-            flips: 0,
+            lanes: models
+                .into_iter()
+                .map(|model| OracleLane { model, flips: 0 })
+                .collect(),
+            min_thr,
         }
     }
 
@@ -57,16 +167,22 @@ impl DisturbOracle {
     /// `row`'s victims absorb one disturbance.
     pub fn on_activate(&mut self, bank: BankId, row: RowId) {
         let flat = bank.flat(&self.geo);
-        let a = &mut self.acts[flat][row as usize];
+        let base = flat * self.geo.rows;
+        let a = &mut self.acts[base + row as usize];
         *a += 1;
         if *a > self.max_acts {
             self.max_acts = *a;
         }
-        if *a == self.nrh {
-            self.flips += 1;
+        if *a >= self.min_thr {
+            let a = *a;
+            for lane in &mut self.lanes {
+                if a == lane.model.threshold_of(flat, row) {
+                    lane.flips += 1;
+                }
+            }
         }
         for v in victims_of(row, self.blast_radius, self.geo.rows) {
-            let d = &mut self.damage[flat][v as usize];
+            let d = &mut self.damage[base + v as usize];
             *d += 1;
             if *d > self.max_damage {
                 self.max_damage = *d;
@@ -80,16 +196,17 @@ impl DisturbOracle {
     /// when a whole victim set is serviced.
     pub fn on_row_refreshed(&mut self, bank: BankId, row: RowId) {
         let flat = bank.flat(&self.geo);
-        self.damage[flat][row as usize] = 0;
+        self.damage[flat * self.geo.rows + row as usize] = 0;
     }
 
     /// Records that all victims of `aggressor` were refreshed: `A(aggressor)`
     /// resets and the victims' damage clears.
     pub fn on_victims_refreshed(&mut self, bank: BankId, aggressor: RowId) {
         let flat = bank.flat(&self.geo);
-        self.acts[flat][aggressor as usize] = 0;
+        let base = flat * self.geo.rows;
+        self.acts[base + aggressor as usize] = 0;
         for v in victims_of(aggressor, self.blast_radius, self.geo.rows) {
-            self.damage[flat][v as usize] = 0;
+            self.damage[base + v as usize] = 0;
         }
     }
 
@@ -112,13 +229,10 @@ impl DisturbOracle {
             end.saturating_sub(br)
         };
         for b in base..base + self.geo.banks_per_rank() {
-            for d in &mut self.damage[b][start..end] {
-                *d = 0;
-            }
+            let o = b * self.geo.rows;
+            self.damage[o + start..o + end].fill(0);
             if a_start < a_end {
-                for a in &mut self.acts[b][a_start..a_end] {
-                    *a = 0;
-                }
+                self.acts[o + a_start..o + a_end].fill(0);
             }
         }
     }
@@ -134,24 +248,35 @@ impl DisturbOracle {
         self.max_acts
     }
 
-    /// Number of would-be bitflip events (an aggressor reaching `nrh`).
+    /// Number of would-be bitflip events on the primary lane (an aggressor
+    /// reaching its row's threshold).
     pub fn flips(&self) -> u64 {
-        self.flips
+        self.lanes[0].flips
+    }
+
+    /// Would-be bitflip count of lane `lane`.
+    pub fn flips_of(&self, lane: usize) -> u64 {
+        self.lanes[lane].flips
+    }
+
+    /// Number of threshold lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Current absorbed damage of one row.
     pub fn damage_of(&self, bank: BankId, row: RowId) -> u32 {
-        self.damage[bank.flat(&self.geo)][row as usize]
+        self.damage[bank.flat(&self.geo) * self.geo.rows + row as usize]
     }
 
     /// Current `A(row)` of one row.
     pub fn acts_of(&self, bank: BankId, row: RowId) -> u32 {
-        self.acts[bank.flat(&self.geo)][row as usize]
+        self.acts[bank.flat(&self.geo) * self.geo.rows + row as usize]
     }
 
-    /// The configured disturbance threshold.
+    /// The configured (nominal) disturbance threshold of the primary lane.
     pub fn nrh(&self) -> u32 {
-        self.nrh
+        self.lanes[0].model.nominal()
     }
 }
 
@@ -231,5 +356,134 @@ mod tests {
         o.on_periodic_sweep(0, 0);
         assert_eq!(o.damage_of(b, 0), 0);
         assert_eq!(o.damage_of(b, 2), 1);
+    }
+
+    #[test]
+    fn per_row_thresholds_are_deterministic_and_bounded() {
+        let m = ThresholdModel::PerRow {
+            nominal: 100,
+            floor: 50,
+            seed: 7,
+        };
+        let again = ThresholdModel::PerRow {
+            nominal: 100,
+            floor: 50,
+            seed: 7,
+        };
+        let mut seen_below_nominal = false;
+        for bank in 0..4usize {
+            for row in 0..256u32 {
+                let t = m.threshold_of(bank, row);
+                assert!((50..=100).contains(&t), "threshold {t} out of range");
+                assert_eq!(t, again.threshold_of(bank, row), "not deterministic");
+                seen_below_nominal |= t < 100;
+            }
+        }
+        assert!(seen_below_nominal, "distribution degenerate at nominal");
+        // A different seed must resample.
+        let other = ThresholdModel::PerRow {
+            nominal: 100,
+            floor: 50,
+            seed: 8,
+        };
+        let differs = (0..256u32).any(|r| other.threshold_of(0, r) != m.threshold_of(0, r));
+        assert!(differs, "seed does not perturb the draw");
+    }
+
+    #[test]
+    fn degenerate_per_row_distribution_matches_uniform_exactly() {
+        // floor == nominal: every row's threshold collapses to the scalar
+        // N_RH, so flips, watermarks, and per-row counters must reproduce
+        // the Uniform oracle bit for bit regardless of seed.
+        let geo = Geometry::tiny();
+        let mut uniform = DisturbOracle::new(geo, 2, 10);
+        let mut degenerate = DisturbOracle::with_model(
+            geo,
+            2,
+            ThresholdModel::PerRow {
+                nominal: 10,
+                floor: 10,
+                seed: 0xDEAD_BEEF,
+            },
+        );
+        let b = BankId::new(0, 0, 0);
+        for i in 0..25u32 {
+            let row = 40 + (i % 3) * 7;
+            uniform.on_activate(b, row);
+            degenerate.on_activate(b, row);
+            if i % 11 == 0 {
+                uniform.on_victims_refreshed(b, row);
+                degenerate.on_victims_refreshed(b, row);
+            }
+        }
+        assert_eq!(uniform.flips(), degenerate.flips());
+        assert_eq!(
+            uniform.max_aggressor_acts(),
+            degenerate.max_aggressor_acts()
+        );
+        assert_eq!(uniform.max_damage(), degenerate.max_damage());
+        assert_eq!(uniform.nrh(), degenerate.nrh());
+        for row in 0..120u32 {
+            assert_eq!(uniform.acts_of(b, row), degenerate.acts_of(b, row));
+            assert_eq!(uniform.damage_of(b, row), degenerate.damage_of(b, row));
+        }
+    }
+
+    #[test]
+    fn lanes_judge_the_same_counters_independently() {
+        let geo = Geometry::tiny();
+        let mut o = DisturbOracle::with_lanes(
+            geo,
+            2,
+            vec![ThresholdModel::Uniform(5), ThresholdModel::Uniform(10)],
+        );
+        let b = BankId::new(0, 0, 0);
+        for _ in 0..10 {
+            o.on_activate(b, 50);
+        }
+        assert_eq!(o.lane_count(), 2);
+        assert_eq!(o.flips_of(0), 1, "lane 0 crossed 5 once");
+        assert_eq!(o.flips_of(1), 1, "lane 1 crossed 10 once");
+        assert_eq!(o.flips(), o.flips_of(0), "primary lane is lane 0");
+        // Counter state is shared: one activation stream, one watermark.
+        assert_eq!(o.max_aggressor_acts(), 10);
+    }
+
+    #[test]
+    fn lane_flips_match_solo_oracles_on_mixed_thresholds() {
+        // The multi-lane batch contract: each lane's flip count equals a
+        // dedicated single-lane oracle fed the same activation stream.
+        let geo = Geometry::tiny();
+        let models = [
+            ThresholdModel::Uniform(4),
+            ThresholdModel::Uniform(9),
+            ThresholdModel::PerRow {
+                nominal: 12,
+                floor: 3,
+                seed: 42,
+            },
+        ];
+        let mut batched = DisturbOracle::with_lanes(geo, 2, models.to_vec());
+        let mut solos: Vec<_> = models
+            .iter()
+            .map(|&m| DisturbOracle::with_model(geo, 2, m))
+            .collect();
+        let b = BankId::new(0, 0, 0);
+        for i in 0..60u32 {
+            let row = 30 + (i % 5) * 4;
+            batched.on_activate(b, row);
+            for s in &mut solos {
+                s.on_activate(b, row);
+            }
+            if i % 17 == 0 {
+                batched.on_victims_refreshed(b, row);
+                for s in &mut solos {
+                    s.on_victims_refreshed(b, row);
+                }
+            }
+        }
+        for (lane, solo) in solos.iter().enumerate() {
+            assert_eq!(batched.flips_of(lane), solo.flips(), "lane {lane}");
+        }
     }
 }

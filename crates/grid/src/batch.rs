@@ -1,0 +1,396 @@
+//! Batched Monte-Carlo grid execution.
+//!
+//! [`run_grid_batched`] is a drop-in alternative to
+//! [`run_grid`](crate::exec::run_grid) for sweeps whose cells share a
+//! workload: instead of regenerating traces and stepping one `System` per
+//! cell, pending cells are grouped by `(workload, geometry)`, the traces
+//! are generated **once** per group, and every member steps through
+//! [`System::run_batch`] — variants that are timing-identical (differing
+//! only in oracle parameters: `nrh` under no mechanism, VRD spec, or an
+//! unused seed) collapse into one lockstep simulation judged by a
+//! multi-lane oracle.
+//!
+//! Batching is a pure cache-fill accelerator: every member cell keeps its
+//! own unchanged content hash and its own store entry, and the entry bytes
+//! are identical to what a solo [`run_grid`] would have written (the store
+//! entry is a pure function of `(CellKey, SimReport)` and `run_batch` is
+//! bit-identical to solo `run`). A store filled by the batched path is
+//! indistinguishable from one filled solo — so the two paths can be mixed
+//! freely across runs, shards and machines. Because batched fills are
+//! short-lived and single-process per group, this path skips the
+//! lease/journal coordination plane; concurrent processes sharing a store
+//! at worst duplicate compute, never corrupt (writes stay atomic).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use chronus_sim::{try_run_parallel, SimConfig, System};
+
+use crate::cell::{CellSpec, WorkloadSpec};
+use crate::exec::{update_manifest, CellFailure, ExecOpts, ExecStats, FailureKind, GridOutcome};
+use crate::progress::Progress;
+use crate::spec::GridSpec;
+use crate::store::ResultStore;
+
+/// A Monte-Carlo batch: one shared workload, many simulator configurations
+/// (mechanism / `N_RH` / seed / VRD variants). Expands to ordinary
+/// [`CellSpec`]s — one per member, each hashed and stored exactly as if it
+/// had been declared individually — so a batch changes *how* cells are
+/// filled, never *what* they are.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSpec {
+    /// Display-label prefix; member `i` is labelled `<label>#<i>`.
+    pub label: String,
+    /// The workload every member shares (identical traces).
+    pub workload: WorkloadSpec,
+    /// One fully resolved configuration per member.
+    pub configs: Vec<SimConfig>,
+}
+
+impl BatchSpec {
+    /// A batch over `workload` with one member per configuration.
+    pub fn new(label: impl Into<String>, workload: WorkloadSpec, configs: Vec<SimConfig>) -> Self {
+        Self {
+            label: label.into(),
+            workload,
+            configs,
+        }
+    }
+
+    /// The member cells, in configuration order. Hashes (and therefore
+    /// store entries) are identical to declaring each cell by hand.
+    pub fn member_cells(&self) -> Vec<CellSpec> {
+        self.configs
+            .iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                CellSpec::new(
+                    format!("{}#{i}", self.label),
+                    self.workload.clone(),
+                    cfg.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Appends every member cell onto `spec`.
+    pub fn push_onto(&self, spec: &mut GridSpec) {
+        for cell in self.member_cells() {
+            spec.push(cell);
+        }
+    }
+}
+
+/// The stable grouping key: cells batch together exactly when their traces
+/// are guaranteed identical (same workload spec, same geometry).
+fn group_key(cell: &CellSpec) -> String {
+    serde_json::to_string(&(&cell.workload, &cell.config.geometry))
+        .expect("workload/geometry serialize")
+}
+
+/// Executes a grid through the batched lockstep engine: cache pass and
+/// shard filter identical to [`run_grid`](crate::exec::run_grid), then the
+/// owned misses are grouped by `(workload, geometry)` and each group runs
+/// as one [`System::run_batch`] call over once-generated traces. Groups
+/// run in parallel across `opts.threads`; a panicking group fails all of
+/// its members (recorded per cell in the failure manifest) without
+/// aborting the run.
+///
+/// Per-member store entries are byte-identical to a solo run's, so this is
+/// safe to point at any existing store.
+pub fn run_grid_batched(
+    spec: &GridSpec,
+    store: Option<&ResultStore>,
+    opts: &ExecOpts,
+) -> GridOutcome {
+    let started = Instant::now();
+    let hashes = spec.hashes();
+    let mut reports: Vec<Option<chronus_sim::SimReport>> = vec![None; spec.cells.len()];
+    let mut stats = ExecStats {
+        total: spec.cells.len(),
+        ..ExecStats::default()
+    };
+
+    // Cache pass, deduplicated by hash (same as the solo executor).
+    let mut by_hash: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, h) in hashes.iter().enumerate() {
+        by_hash.entry(h.as_str()).or_default().push(i);
+    }
+    let mut pending: Vec<usize> = Vec::new(); // representative indices
+    for (hash, indices) in &by_hash {
+        match store.and_then(|s| s.get(hash)) {
+            Some(report) => {
+                stats.cached += indices.len();
+                for &i in indices {
+                    reports[i] = Some(report.clone());
+                }
+            }
+            None => pending.push(indices[0]),
+        }
+    }
+
+    // Shard filter: a duplicated hash is owned by the shard owning its
+    // first (representative) position.
+    pending.sort_unstable();
+    let (owned, foreign): (Vec<usize>, Vec<usize>) =
+        pending.into_iter().partition(|&i| opts.shard.owns(i));
+    for i in &foreign {
+        stats.skipped += by_hash[hashes[*i].as_str()].len();
+    }
+
+    // Group the owned misses by (workload, geometry): equal keys guarantee
+    // identical traces, so one generation serves the whole group. First-
+    // seen order over the sorted indices keeps grouping deterministic.
+    let mut group_of: HashMap<String, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for &i in &owned {
+        let key = group_key(&spec.cells[i]);
+        match group_of.get(&key) {
+            Some(&g) => groups[g].push(i),
+            None => {
+                group_of.insert(key, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+
+    let progress = Progress::new(&spec.name, owned.len(), opts.progress);
+    let progress_ref = &progress;
+    let cells_ref = &spec.cells;
+    let groups_ref = &groups;
+    let group_ids: Vec<usize> = (0..groups.len()).collect();
+    let group_results = try_run_parallel(group_ids, opts.threads, move |g| {
+        let members = &groups_ref[g];
+        let rep = &cells_ref[members[0]];
+        let t0 = Instant::now();
+        let traces = rep.workload.traces(&rep.config.geometry);
+        let cfgs: Vec<SimConfig> = members
+            .iter()
+            .map(|&i| cells_ref[i].config.clone())
+            .collect();
+        let batch = System::run_batch(&cfgs, &traces);
+        for &i in members.iter() {
+            progress_ref.cell_done(&cells_ref[i].label);
+        }
+        (batch, t0.elapsed().as_secs_f64())
+    });
+
+    // Fan-out, persistence and accounting. A panicked group fails every
+    // member; a store-write failure keeps the in-memory report.
+    let mut failures: Vec<CellFailure> = Vec::new();
+    for (members, result) in groups.iter().zip(group_results) {
+        match result {
+            Ok((batch, wall)) => {
+                let member_wall = wall / members.len() as f64;
+                for (slot, &i) in members.iter().enumerate() {
+                    let hash = hashes[i].as_str();
+                    let report = &batch[slot];
+                    if let Some(store) = store {
+                        match store.put(hash, &spec.cells[i], report) {
+                            Ok(_) => store.record_wall(hash, member_wall),
+                            Err(e) => failures.push(CellFailure {
+                                index: i,
+                                label: spec.cells[i].label.clone(),
+                                hash: hash.to_string(),
+                                kind: FailureKind::StoreWrite,
+                                attempts: 1,
+                                error: e.to_string(),
+                            }),
+                        }
+                    }
+                    let indices = &by_hash[hash];
+                    stats.simulated += indices.len();
+                    for &j in indices {
+                        reports[j] = Some(report.clone());
+                    }
+                }
+            }
+            Err(panic_msg) => {
+                for &i in members {
+                    let hash = hashes[i].as_str();
+                    stats.failed += by_hash[hash].len();
+                    failures.push(CellFailure {
+                        index: i,
+                        label: spec.cells[i].label.clone(),
+                        hash: hash.to_string(),
+                        kind: FailureKind::Panic,
+                        attempts: 1,
+                        error: format!("batched group panicked: {panic_msg}"),
+                    });
+                }
+            }
+        }
+    }
+    failures.sort_by_key(|f| f.index);
+
+    if let Some(store) = store {
+        update_manifest(
+            store,
+            spec,
+            &opts.shard,
+            &failures,
+            reports.iter().all(Option::is_some),
+        );
+    }
+
+    GridOutcome {
+        reports,
+        stats,
+        failures,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::AppTrace;
+    use crate::exec::run_grid;
+    use chronus_sim::VrdSpec;
+
+    fn batch_grid(name: &str) -> GridSpec {
+        let workload = WorkloadSpec::Apps {
+            apps: vec![AppTrace::new("429.mcf", 0, 42)],
+            trace_instructions: 3_000,
+        };
+        let mut configs = Vec::new();
+        for (nrh, vrd_seed) in [(1024u32, 1u64), (1024, 2), (512, 1), (256, 3)] {
+            let mut cfg = SimConfig::single_core();
+            cfg.instructions_per_core = 2_000;
+            cfg.nrh = nrh;
+            cfg.oracle = true;
+            cfg.vrd = Some(VrdSpec {
+                min_pct: 50,
+                seed: vrd_seed,
+            });
+            configs.push(cfg);
+        }
+        let mut spec = GridSpec::new(name);
+        BatchSpec::new("mc", workload, configs).push_onto(&mut spec);
+        spec
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("chronus-grid-batch-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Lists `(file name, bytes)` of the store's top-level entries — the
+    /// authoritative byte-identity surface (sidecars and journals are not
+    /// part of it).
+    fn entry_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| {
+                let e = e.unwrap();
+                let name = e.file_name().into_string().unwrap();
+                if e.file_type().unwrap().is_file() && name.ends_with(".json") {
+                    Some((name, std::fs::read(e.path()).unwrap()))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn batched_fill_is_byte_identical_to_solo() {
+        let solo_dir = scratch("solo");
+        let batch_dir = scratch("batched");
+        let opts = ExecOpts {
+            threads: 2,
+            progress: false,
+            ..ExecOpts::default()
+        };
+
+        let spec = batch_grid("byte-identity");
+        let solo_store = ResultStore::open(&solo_dir).unwrap();
+        let solo = run_grid(&spec, Some(&solo_store), &opts);
+        let batch_store = ResultStore::open(&batch_dir).unwrap();
+        let batched = run_grid_batched(&spec, Some(&batch_store), &opts);
+
+        assert!(solo.is_complete() && batched.is_complete());
+        assert_eq!(batched.stats.simulated, 4);
+        let solo_entries = entry_bytes(&solo_dir);
+        let batch_entries = entry_bytes(&batch_dir);
+        assert_eq!(solo_entries.len(), 4);
+        assert_eq!(
+            solo_entries, batch_entries,
+            "batched store entries must be byte-identical to solo"
+        );
+
+        // Reports come back in spec order and match the solo run exactly.
+        for (a, b) in solo.reports.iter().zip(&batched.reports) {
+            assert_eq!(a, b);
+        }
+        let _ = std::fs::remove_dir_all(&solo_dir);
+        let _ = std::fs::remove_dir_all(&batch_dir);
+    }
+
+    #[test]
+    fn second_batched_pass_is_fully_cached() {
+        let dir = scratch("cached");
+        let opts = ExecOpts {
+            threads: 2,
+            progress: false,
+            ..ExecOpts::default()
+        };
+        let spec = batch_grid("cached");
+        let store = ResultStore::open(&dir).unwrap();
+        let first = run_grid_batched(&spec, Some(&store), &opts);
+        assert_eq!(first.stats.simulated, 4);
+        let second = run_grid_batched(&spec, Some(&store), &opts);
+        assert_eq!(second.stats.cached, 4);
+        assert_eq!(second.stats.simulated, 0);
+        assert_eq!(second.reports, first.reports);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_workloads_split_into_groups() {
+        // Two different workloads in one grid: the batched path must still
+        // complete every cell (two groups, traces generated once each).
+        let mut spec = batch_grid("mixed");
+        let other = WorkloadSpec::Apps {
+            apps: vec![AppTrace::new("511.povray", 0, 7)],
+            trace_instructions: 3_000,
+        };
+        let mut cfg = SimConfig::single_core();
+        cfg.instructions_per_core = 2_000;
+        spec.push(CellSpec::new("povray", other, cfg));
+
+        let opts = ExecOpts {
+            threads: 2,
+            progress: false,
+            ..ExecOpts::default()
+        };
+        let out = run_grid_batched(&spec, None, &opts);
+        assert!(out.is_complete());
+        assert_eq!(out.stats.simulated, 5);
+    }
+
+    #[test]
+    fn member_cells_match_hand_declared_cells() {
+        let spec = batch_grid("hashes");
+        let workload = WorkloadSpec::Apps {
+            apps: vec![AppTrace::new("429.mcf", 0, 42)],
+            trace_instructions: 3_000,
+        };
+        let mut cfg = SimConfig::single_core();
+        cfg.instructions_per_core = 2_000;
+        cfg.nrh = 1024;
+        cfg.oracle = true;
+        cfg.vrd = Some(VrdSpec {
+            min_pct: 50,
+            seed: 1,
+        });
+        let hand = CellSpec::new("whatever", workload, cfg);
+        // Labels are not part of the hash, so member 0 hashes identically
+        // to the hand-declared equivalent.
+        assert_eq!(spec.hashes()[0], crate::hash::cell_hash(&hand));
+    }
+}

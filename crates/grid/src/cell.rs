@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// mechanism behaviour, energy accounting, trace generation, …) can alter
 /// any `SimReport` field: stale cache entries then miss instead of serving
 /// results from an older simulator.
-pub const SIM_VERSION: u32 = 2;
+pub const SIM_VERSION: u32 = 3;
 
 /// One synthetic per-core trace: the app profile plus the exact generation
 /// parameters the harnesses use.

@@ -854,7 +854,7 @@ pub fn run_grid_coordinated(
 /// store lock. Prior failures whose cells now verify in the store are
 /// dropped (any shard's rerun heals them); failures re-observed this run
 /// replace their prior record; an empty result removes the manifest.
-fn update_manifest(
+pub(crate) fn update_manifest(
     store: &ResultStore,
     spec: &GridSpec,
     shard: &Shard,

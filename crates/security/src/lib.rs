@@ -29,5 +29,8 @@ pub mod sweep;
 pub mod wave;
 
 pub use bounds::{att_entries, chronus_max_acts, chronus_secure_nbo, dbc_chronus, dbc_prac};
-pub use sweep::{prac_secure_nbo, prac_worst_case, prfm_secure_threshold, prfm_worst_case};
+pub use sweep::{
+    prac_secure_nbo, prac_secure_nbo_vrd, prac_worst_case, prfm_secure_threshold,
+    prfm_secure_threshold_vrd, prfm_worst_case, VrdModel,
+};
 pub use wave::{prac_wave_max_acts, prfm_wave_max_acts, PracBackOff, WaveTiming};

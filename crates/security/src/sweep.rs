@@ -105,6 +105,59 @@ pub fn prac_secure_nbo(nrh: u32, n_ref: u32, n_delay: u32, t: &WaveTiming) -> Op
     Some(lo)
 }
 
+/// The Variable Read Disturbance threshold distribution: `N_RH` is a
+/// per-row random variable drawn uniformly from `[floor, nominal]`
+/// (PAPERS.md: VRD), parameterized as the nominal threshold plus the
+/// weakest row's percentage of it. This is the analytical side of the
+/// `vrd-sweep` Monte-Carlo grid — the simulator's per-row oracle
+/// (`chronus_dram::ThresholdModel::PerRow`) samples against exactly this
+/// floor, and secure-configuration searches must hold at the floor, since
+/// a configuration is only secure if the *weakest* row stays safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VrdModel {
+    /// The nominal (maximum) per-row threshold.
+    pub nominal: u32,
+    /// The weakest row's threshold as a percentage of nominal (100 =
+    /// degenerate: every row at nominal, the scalar model).
+    pub min_pct: u32,
+}
+
+impl VrdModel {
+    /// The weakest row's threshold: `nominal · min_pct / 100`, clamped to
+    /// `[1, nominal]`.
+    pub fn floor(&self) -> u32 {
+        ((self.nominal as u64 * self.min_pct as u64) / 100).clamp(1, self.nominal as u64) as u32
+    }
+
+    /// Whether the distribution collapses to the scalar model (every row
+    /// at nominal).
+    pub fn is_degenerate(&self) -> bool {
+        self.floor() == self.nominal
+    }
+
+    /// Expected threshold of a uniformly drawn row.
+    pub fn mean(&self) -> f64 {
+        (self.floor() as f64 + self.nominal as f64) / 2.0
+    }
+}
+
+/// Largest `RFMth` that keeps every row of a VRD distribution secure: the
+/// scalar search evaluated at the distribution's floor.
+pub fn prfm_secure_threshold_vrd(model: &VrdModel, t: &WaveTiming) -> Option<u32> {
+    prfm_secure_threshold(model.floor(), t)
+}
+
+/// Largest `N_BO` that keeps every row of a VRD distribution secure under
+/// PRAC-N: the scalar search evaluated at the distribution's floor.
+pub fn prac_secure_nbo_vrd(
+    model: &VrdModel,
+    n_ref: u32,
+    n_delay: u32,
+    t: &WaveTiming,
+) -> Option<u32> {
+    prac_secure_nbo(model.floor(), n_ref, n_delay, t)
+}
+
 /// One series point of Fig. 3a: max activations vs `RFMth` for each
 /// starting row-set size.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -216,6 +269,59 @@ mod tests {
         assert!(th <= 8, "got {th}");
         let th_1k = prfm_secure_threshold(1024, &t).expect("securable");
         assert!(th_1k > th);
+    }
+
+    #[test]
+    fn vrd_floor_math() {
+        let m = VrdModel {
+            nominal: 1000,
+            min_pct: 50,
+        };
+        assert_eq!(m.floor(), 500);
+        assert!(!m.is_degenerate());
+        assert_eq!(m.mean(), 750.0);
+        // 100% (or more) collapses to the scalar model.
+        let scalar = VrdModel {
+            nominal: 64,
+            min_pct: 100,
+        };
+        assert_eq!(scalar.floor(), 64);
+        assert!(scalar.is_degenerate());
+        // The floor never reaches zero.
+        let tiny = VrdModel {
+            nominal: 10,
+            min_pct: 1,
+        };
+        assert_eq!(tiny.floor(), 1);
+    }
+
+    #[test]
+    fn vrd_secure_search_holds_at_the_weakest_row() {
+        let t = WaveTiming::prac_default();
+        let model = VrdModel {
+            nominal: 1024,
+            min_pct: 25,
+        };
+        let vrd_nbo = prac_secure_nbo_vrd(&model, 4, 4, &t).expect("securable");
+        let scalar_nbo = prac_secure_nbo(1024, 4, 4, &t).expect("securable");
+        assert_eq!(vrd_nbo, prac_secure_nbo(model.floor(), 4, 4, &t).unwrap());
+        assert!(
+            vrd_nbo <= scalar_nbo,
+            "a spread distribution can never relax the threshold"
+        );
+        // Degenerate distribution = scalar search exactly.
+        let degenerate = VrdModel {
+            nominal: 1024,
+            min_pct: 100,
+        };
+        assert_eq!(
+            prac_secure_nbo_vrd(&degenerate, 4, 4, &t),
+            prac_secure_nbo(1024, 4, 4, &t)
+        );
+        assert_eq!(
+            prfm_secure_threshold_vrd(&degenerate, &WaveTiming::baseline_default()),
+            prfm_secure_threshold(1024, &WaveTiming::baseline_default())
+        );
     }
 
     #[test]

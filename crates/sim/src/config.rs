@@ -3,8 +3,23 @@
 use chronus_core::MechanismKind;
 use chronus_cpu::{CacheConfig, CoreConfig};
 use chronus_ctrl::AddressMapping;
-use chronus_dram::{Geometry, TimingMode};
+use chronus_dram::{Geometry, ThresholdModel, TimingMode};
+use chronus_security::VrdModel;
 use serde::{Deserialize, Serialize};
+
+/// Variable Read Disturbance sampling: give the oracle per-row thresholds
+/// drawn uniformly from `[nominal·min_pct/100, nominal]` instead of the
+/// scalar `nrh`. Purely observational — the oracle never affects timing —
+/// so two configs differing only here simulate identically and can share
+/// one batched run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VrdSpec {
+    /// The weakest row's threshold as a percentage of `nrh` (100 =
+    /// degenerate: the scalar model, still sampled per row).
+    pub min_pct: u32,
+    /// Per-row sampling seed (independent of the mechanism seed).
+    pub seed: u64,
+}
 
 /// Everything needed to build a [`crate::System`].
 ///
@@ -52,6 +67,9 @@ pub struct SimConfig {
     /// report gains an `ObsReport` section. Observational only — every
     /// pre-existing report field is unchanged by this flag.
     pub obs: bool,
+    /// Per-row N_RH distribution for the oracle (requires `oracle`);
+    /// `None` keeps the scalar `nrh` threshold.
+    pub vrd: Option<VrdSpec>,
 }
 
 impl SimConfig {
@@ -73,6 +91,7 @@ impl SimConfig {
             seed: 1,
             max_mem_cycles: 0,
             obs: false,
+            vrd: None,
         }
     }
 
@@ -91,6 +110,25 @@ impl SimConfig {
             num_cores: 8,
             llc: CacheConfig::large_kim25(),
             ..Self::four_core()
+        }
+    }
+
+    /// The oracle threshold model this configuration implies: the scalar
+    /// `nrh`, or a per-row VRD distribution whose floor comes from the
+    /// analytical [`VrdModel`] (so the simulated weakest row and the
+    /// security-search floor are the same number).
+    pub fn oracle_model(&self) -> ThresholdModel {
+        match self.vrd {
+            None => ThresholdModel::Uniform(self.nrh),
+            Some(v) => ThresholdModel::PerRow {
+                nominal: self.nrh,
+                floor: VrdModel {
+                    nominal: self.nrh,
+                    min_pct: v.min_pct,
+                }
+                .floor(),
+                seed: v.seed,
+            },
         }
     }
 }
@@ -114,5 +152,37 @@ mod tests {
         let c = SimConfig::eight_core_large_llc();
         assert_eq!(c.num_cores, 8);
         assert_eq!(c.llc.capacity, 36 << 20);
+    }
+
+    #[test]
+    fn oracle_model_follows_vrd_spec() {
+        let mut c = SimConfig::single_core();
+        c.nrh = 1000;
+        assert_eq!(c.oracle_model(), ThresholdModel::Uniform(1000));
+        c.vrd = Some(VrdSpec {
+            min_pct: 50,
+            seed: 7,
+        });
+        assert_eq!(
+            c.oracle_model(),
+            ThresholdModel::PerRow {
+                nominal: 1000,
+                floor: 500,
+                seed: 7,
+            }
+        );
+        // Degenerate distribution: still per-row, floor pinned at nominal.
+        c.vrd = Some(VrdSpec {
+            min_pct: 100,
+            seed: 7,
+        });
+        assert_eq!(
+            c.oracle_model(),
+            ThresholdModel::PerRow {
+                nominal: 1000,
+                floor: 1000,
+                seed: 7,
+            }
+        );
     }
 }

@@ -29,7 +29,7 @@ pub mod report;
 pub mod slab;
 pub mod system;
 
-pub use config::SimConfig;
+pub use config::{SimConfig, VrdSpec};
 pub use parallel::{run_parallel, try_run_parallel};
 pub use report::SimReport;
 pub use slab::InflightSlab;

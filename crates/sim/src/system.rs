@@ -11,7 +11,7 @@
 use chronus_core::MechanismKind;
 use chronus_cpu::{CoreState, CoreWake, SharedLlc, SimpleO3Core, Trace};
 use chronus_ctrl::{Completion, CtrlConfig, MemRequest, MemoryController, ReqKind};
-use chronus_dram::{DramConfig, DramDevice, Geometry};
+use chronus_dram::{DisturbOracle, DramConfig, DramDevice, Geometry, ThresholdModel};
 use chronus_energy::{EnergyParams, MechanismEnergy};
 
 use crate::config::SimConfig;
@@ -51,7 +51,7 @@ impl System {
         dram_cfg.geometry = cfg.geometry;
         dram_cfg.strict = cfg.strict_timing;
         if cfg.oracle {
-            dram_cfg.oracle_nrh = Some(cfg.nrh);
+            dram_cfg.oracle_model = Some(cfg.oracle_model());
         }
         let dram = DramDevice::with_mitigation(dram_cfg, setup.dram_mitigation);
         let ctrl_cfg = CtrlConfig {
@@ -104,6 +104,14 @@ impl System {
     /// Panics if the number of traces does not match `num_cores`.
     pub fn run(mut self, traces: Vec<Trace>) -> SimReport {
         let mut cores = self.build_cores(traces);
+        let (mem_cycle, cpu_cycle, truncated) = self.run_loop(&mut cores);
+        self.finish(cores, mem_cycle, cpu_cycle, truncated)
+    }
+
+    /// The event-driven loop body shared by [`System::run`] and
+    /// [`System::run_batch`]: drives `cores` to completion and returns
+    /// `(mem_cycle, cpu_cycle, truncated)` for [`System::finish`].
+    fn run_loop(&mut self, cores: &mut [SimpleO3Core]) -> (u64, u64, bool) {
         let mapping = self.ctrl.config().mapping;
         let geo = *self.dram.geometry();
 
@@ -131,7 +139,7 @@ impl System {
                 pushed |= deliver_fills(
                     &mut self.ctrl,
                     &mut self.llc,
-                    &mut cores,
+                    cores,
                     &mut inflight,
                     &completions,
                     &mut waiters,
@@ -207,7 +215,7 @@ impl System {
                 continue;
             }
             let mut skippable = true;
-            for core in &cores {
+            for core in cores.iter() {
                 match core.next_event_cycle(last_cpu) {
                     CoreWake::Busy => {
                         skippable = false;
@@ -245,7 +253,7 @@ impl System {
             }
         }
 
-        self.finish(cores, mem_cycle, cpu_cycle, truncated)
+        (mem_cycle, cpu_cycle, truncated)
     }
 
     /// The retained strictly cycle-by-cycle loop. Kept as the equivalence
@@ -320,6 +328,99 @@ impl System {
         }
 
         self.finish(cores, mem_cycle, cpu_cycle, truncated)
+    }
+
+    /// Runs a batch of config variants over one shared workload, in
+    /// lockstep where possible, and returns one [`SimReport`] per variant,
+    /// each bit-identical to what its solo [`System::run`] would produce.
+    ///
+    /// The engine partitions the variants into *timing cohorts*. The
+    /// disturbance oracle is strictly observational (no hook affects a
+    /// timing frontier), so variants that differ only in oracle-visible
+    /// parameters — the VRD distribution (`vrd`), the seed of a
+    /// seed-insensitive mechanism, or `nrh` under the unmitigated baseline
+    /// — share one simulation: the cohort runs once with a multi-lane
+    /// [`DisturbOracle`] (one threshold-model lane per member) and each
+    /// member's report is the cohort report with its own `nrh` and lane
+    /// flip count patched in. Every other field is provably
+    /// cohort-invariant: the mechanism label, timing, and `secure` verdict
+    /// are functions of the cohort key alone.
+    ///
+    /// A variant whose parameters *do* perturb timing (different
+    /// mechanism, threshold, mapping, LLC, …) forks onto its own cohort —
+    /// its own controller clock — but still shares the decoded traces,
+    /// which the caller generates once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfgs` is empty or any variant's `num_cores` does not
+    /// match the trace count.
+    pub fn run_batch(cfgs: &[SimConfig], traces: &[Trace]) -> Vec<SimReport> {
+        assert!(!cfgs.is_empty(), "batch needs at least one variant");
+        for cfg in cfgs {
+            assert_eq!(
+                cfg.num_cores,
+                traces.len(),
+                "every batch member must run the shared workload"
+            );
+        }
+        // The cohort key is the config with every timing-inert field
+        // canonicalized away; equal keys ⇒ bit-identical timing.
+        let cohort_key = |cfg: &SimConfig| {
+            let mut key = cfg.clone();
+            key.vrd = None;
+            if !key.mechanism.uses_seed() {
+                key.seed = 0;
+            }
+            if key.mechanism == MechanismKind::None {
+                // No mechanism consumes the threshold: nrh only reaches
+                // the oracle (a lane) and the report (patched below).
+                key.nrh = 0;
+            }
+            key
+        };
+        let mut cohorts: Vec<(SimConfig, Vec<usize>)> = Vec::new();
+        for (i, cfg) in cfgs.iter().enumerate() {
+            let key = cohort_key(cfg);
+            match cohorts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(i),
+                None => cohorts.push((key, vec![i])),
+            }
+        }
+        let mut out: Vec<Option<SimReport>> = vec![None; cfgs.len()];
+        for (_, members) in &cohorts {
+            let rep_cfg = &cfgs[members[0]];
+            let mut sys = System::build(rep_cfg);
+            if rep_cfg.oracle {
+                // One lane per member, in member order: the counter state
+                // is shared, each lane judges its own threshold model.
+                let models: Vec<ThresholdModel> =
+                    members.iter().map(|&i| cfgs[i].oracle_model()).collect();
+                sys.dram.set_oracle(Some(DisturbOracle::with_lanes(
+                    rep_cfg.geometry,
+                    sys.dram.config().blast_radius,
+                    models,
+                )));
+            }
+            let mut cores = sys.build_cores(traces.to_vec());
+            let (mem_cycle, cpu_cycle, truncated) = sys.run_loop(&mut cores);
+            let lane_flips: Option<Vec<u64>> = sys
+                .dram
+                .oracle()
+                .map(|o| (0..o.lane_count()).map(|l| o.flips_of(l)).collect());
+            let template = sys.finish(cores, mem_cycle, cpu_cycle, truncated);
+            for (lane, &i) in members.iter().enumerate() {
+                let mut report = template.clone();
+                report.nrh = cfgs[i].nrh;
+                if let Some(flips) = &lane_flips {
+                    report.oracle_flips = Some(flips[lane]);
+                }
+                out[i] = Some(report);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every member belongs to a cohort"))
+            .collect()
     }
 
     fn finish(

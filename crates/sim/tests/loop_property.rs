@@ -8,7 +8,7 @@
 
 use chronus_core::MechanismKind;
 use chronus_cpu::{Trace, TraceEntry, TraceOp};
-use chronus_sim::{SimConfig, System};
+use chronus_sim::{SimConfig, System, VrdSpec};
 use proptest::prelude::*;
 
 /// Mechanisms sampled by the property: one per mitigation family
@@ -74,5 +74,60 @@ proptest! {
         let naive = System::build(&cfg).run_reference(vec![trace]);
         prop_assert_eq!(fast.obs.is_some(), cfg.obs, "obs presence mismatch");
         prop_assert_eq!(&fast, &naive, "{}@{} diverged", mech, nrh);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Fuzzes the batched lockstep engine over mechanism × N_RH × seed ×
+    // VRD variants on one random trace: every member of a
+    // `System::run_batch` must be bit-identical to its own solo
+    // `System::run`. Random seeds across non-PARA members double as a
+    // check that nothing but PARA consumes the seed (the cohort key
+    // normalizes it away).
+    #[test]
+    fn random_batches_run_bit_identical_to_solo_runs(
+        entries in proptest::collection::vec((0u32..12, 0u8..10, 0u64..u64::MAX), 300..900),
+        // `min_pct` 0 encodes "no VRD" (the scalar oracle); 1..=100 is a
+        // real distribution, 100 being the degenerate one.
+        variants in proptest::collection::vec(
+            (0usize..MECHANISMS.len(), 5u32..11, 0u32..101u32, 0u64..u64::MAX),
+            2..5,
+        ),
+        footprint_bits in 14u32..26,
+    ) {
+        let insts = (entries.len() as u64 * 4) / 5;
+        let traces = vec![trace_from(&entries, footprint_bits)];
+        let cfgs: Vec<SimConfig> = variants
+            .iter()
+            .map(|&(mech_idx, nrh_exp, vrd_pct, seed)| {
+                let mut cfg = SimConfig::single_core();
+                cfg.instructions_per_core = insts;
+                cfg.mechanism = MECHANISMS[mech_idx];
+                cfg.nrh = 1u32 << nrh_exp;
+                cfg.seed = seed;
+                cfg.oracle = true;
+                cfg.vrd = (vrd_pct > 0).then_some(VrdSpec {
+                    min_pct: vrd_pct,
+                    seed: seed ^ 0x5a,
+                });
+                cfg.max_mem_cycles = insts * 10_000;
+                cfg
+            })
+            .collect();
+        let batch = System::run_batch(&cfgs, &traces);
+        for (cfg, batched) in cfgs.iter().zip(&batch) {
+            let solo = System::build(cfg).run(traces.clone());
+            prop_assert_eq!(
+                &solo,
+                batched,
+                "{}@{} seed={} vrd={:?} diverged from its solo run",
+                cfg.mechanism,
+                cfg.nrh,
+                cfg.seed,
+                cfg.vrd
+            );
+        }
     }
 }

@@ -73,6 +73,50 @@ fn report_roundtrip_with_obs_section() {
 }
 
 #[test]
+fn report_roundtrip_with_vrd_oracle() {
+    // A per-row VRD oracle exercises the PerRow lane; the report's flip
+    // census must survive the store format like any other field.
+    let mut cfg = SimConfig::single_core();
+    cfg.instructions_per_core = 8_000;
+    cfg.nrh = 64;
+    cfg.oracle = true;
+    cfg.vrd = Some(chronus_sim::VrdSpec {
+        min_pct: 50,
+        seed: 4,
+    });
+    let trace = chronus_workloads::synthetic_app("429.mcf", 0)
+        .expect("known app")
+        .generate(10_000, 3);
+    let report = System::build(&cfg).run(vec![trace]);
+    assert!(report.oracle_flips.is_some());
+    assert_roundtrip(&report);
+}
+
+#[test]
+fn config_vrd_field_roundtrips_and_is_required() {
+    let mut cfg = SimConfig::single_core();
+    cfg.oracle = true;
+    cfg.vrd = Some(chronus_sim::VrdSpec {
+        min_pct: 50,
+        seed: 9,
+    });
+    let compact = serde_json::to_string(&cfg).unwrap();
+    let parsed: SimConfig = serde_json::from_str(&compact).unwrap();
+    assert_eq!(parsed, cfg);
+    assert_eq!(serde_json::to_string(&parsed).unwrap(), compact);
+
+    // Older-schema documents (no `vrd` key) must error, not default: the
+    // grid store then treats pre-VRD entries as misses.
+    let pruned = compact.replacen(",\"vrd\":{\"min_pct\":50,\"seed\":9}", "", 1);
+    assert_ne!(pruned, compact, "test must actually remove the field");
+    let err = serde_json::from_str::<SimConfig>(&pruned).unwrap_err();
+    assert!(
+        err.to_string().contains("missing field"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
 fn config_roundtrip_is_byte_identical() {
     let mut cfg = SimConfig::four_core();
     cfg.mechanism = MechanismKind::Prac4;
